@@ -1,0 +1,33 @@
+package haxconn
+
+import "haxconn/internal/sat"
+
+// newPigeonhole encodes the pigeonhole principle PHP(n+1, n) — UNSAT and a
+// classic clause-learning workout.
+func newPigeonhole(n int) *sat.Solver {
+	s := sat.New()
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		cl := make([]int, n)
+		copy(cl, p[i])
+		if err := s.AddClause(cl...); err != nil {
+			panic(err)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				if err := s.AddClause(-p[i1][j], -p[i2][j]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseDeps(t *testing.T) {
+	after, err := parseDeps("1:0,2:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after[1]) != 1 || after[1][0] != 0 || len(after[2]) != 1 || after[2][0] != 0 {
+		t.Errorf("parsed %v", after)
+	}
+	if len(after[0]) != 0 {
+		t.Errorf("item 0 should have no deps: %v", after)
+	}
+	for _, bad := range []string{"1", "x:0", "1:y", "9:0", "1:9", "1:0:2"} {
+		if _, err := parseDeps(bad, 3); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command profile prints the characterization tables HaX-CoNN's scheduler
+// consumes: per-layer-group execution and transition costs (the paper's
+// Table 2 flow), the conv microbenchmark EMC grid (Fig. 3), and standalone
+// network runtimes (Table 5).
+//
+// Examples:
+//
+//	profile -platform Xavier -net GoogleNet
+//	profile -microbench
+//	profile -standalone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haxconn/internal/experiments"
+	"haxconn/internal/nn"
+	"haxconn/internal/profiler"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	var (
+		platform   = flag.String("platform", "Xavier", "target SoC")
+		net        = flag.String("net", "GoogleNet", "network to characterize")
+		groups     = flag.Int("groups", 10, "layer-group count")
+		microbench = flag.Bool("microbench", false, "print the conv EMC-utilization grid (Fig. 3)")
+		standalone = flag.Bool("standalone", false, "print standalone runtimes (Table 5)")
+		summary    = flag.Bool("summary", false, "print one-line summaries of every zoo network")
+		dot        = flag.Bool("dot", false, "emit the network's layer-group structure as Graphviz dot")
+		jsonOut    = flag.Bool("json", false, "emit the network's layer list as JSON")
+	)
+	flag.Parse()
+
+	if *summary {
+		for _, name := range nn.Names() {
+			fmt.Println(nn.Summarize(nn.MustByName(name)))
+		}
+		return
+	}
+
+	if *microbench {
+		fmt.Print(experiments.FormatFig3(experiments.Fig3()))
+		return
+	}
+	if *standalone {
+		fmt.Print(experiments.FormatTable5(experiments.Table5()))
+		return
+	}
+	p, ok := soc.PlatformByName(*platform)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "profile: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	n, err := nn.ByName(*net)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(2)
+	}
+	if *dot {
+		if err := nn.WriteDot(os.Stdout, n, *groups); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		if err := nn.WriteJSON(os.Stdout, n); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rows := profiler.Table2(p, n, *groups)
+	fmt.Printf("%s layer groups on %s (E = execution, T = transition)\n", n.Name, p.Name)
+	fmt.Println("Group      GPU(ms)  DSA(ms)  D/G   T GtoD(ms)  T DtoG(ms)  MemThr(%)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %7.3f  %7.3f  %4.2f  %9.3f  %9.3f  %8.1f\n",
+			r.Label, r.GPUMs, r.DLAMs, r.Ratio, r.GtoDMs, r.DtoGMs, r.MemThroughPc)
+	}
+}

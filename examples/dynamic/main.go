@@ -1,0 +1,60 @@
+// Dynamic workloads: D-HaX-CoNN improving schedules on-line while the
+// workload executes (Sec. 3.5 / Fig. 7 of the paper). A drone switches
+// between a discovery mode and a tracking mode; each switch changes the
+// DNN pair, and the runtime starts from a naive schedule and deploys
+// better ones as the solver finds them.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	modes := []struct {
+		name string
+		nets []string
+	}{
+		{"discovery (wide detection + classification)", []string{"ResNet152", "Inception"}},
+		{"tracking  (detection + segmentation)", []string{"GoogleNet", "FCN-ResNet18"}},
+	}
+
+	for _, mode := range modes {
+		fmt.Printf("== mode: %s ==\n", mode.name)
+		anytime, prob, pr, err := core.PlanDynamic(core.Request{
+			Platform:  soc.Xavier(),
+			Networks:  mode.nets,
+			Objective: schedule.MinMaxLatency,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Each incumbent is what the runtime would deploy the moment the
+		// solver reports it; measure all of them on ground truth.
+		for i, inc := range anytime.History {
+			m, err := core.Measure(prob, pr, inc.Schedule)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tag := "improved"
+			if i == 0 {
+				tag = "initial (naive)"
+			}
+			fmt.Printf("  t=%-12v latency %7.2f ms  [%s]\n", inc.Elapsed, m.MeasuredMs, tag)
+		}
+		final, err := core.Measure(prob, pr, anytime.Best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  converged to the optimal schedule: %.2f ms\n", final.MeasuredMs)
+		fmt.Printf("  schedule: %s\n\n", anytime.Best.Describe(pr))
+	}
+}

@@ -1,0 +1,55 @@
+// Energy-aware scheduling: the AxoNN-style extension — pick the
+// lowest-energy contention-aware schedule that still meets a latency
+// budget, and print the full latency/energy Pareto frontier.
+//
+// Run with:
+//
+//	go run ./examples/energyaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haxconn/internal/energy"
+	"haxconn/internal/nn"
+	"haxconn/internal/profiler"
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	p := soc.Orin()
+	prob := &schedule.Problem{Platform: p, Items: []schedule.Item{
+		{Net: nn.MustByName("GoogleNet")},
+		{Net: nn.MustByName("ResNet101")},
+	}}
+	pr, err := profiler.Characterize(prob, profiler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prm, err := energy.DefaultParams(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	front, err := energy.Pareto(prob, pr, prm, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("latency/energy Pareto frontier (GoogleNet + ResNet101 on Orin):")
+	fmt.Println("  latency(ms)  energy(mJ)  avg power(W)")
+	for _, pt := range front {
+		fmt.Printf("  %10.2f  %10.1f  %11.1f\n", pt.LatencyMs, pt.EnergyMJ, pt.EnergyMJ/pt.LatencyMs)
+	}
+
+	// A drone on battery: accept 15% more latency to save energy.
+	budget := front[0].LatencyMs * 1.15
+	pick, err := energy.MinEnergyUnderLatency(prob, pr, prm, nil, budget, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a %.2f ms budget: %.2f ms at %.1f mJ (saves %.1f mJ per frame vs fastest)\n",
+		budget, pick.LatencyMs, pick.EnergyMJ, front[0].EnergyMJ-pick.EnergyMJ)
+	fmt.Println("schedule:", pick.Schedule.Describe(pr))
+}

@@ -1,0 +1,64 @@
+// Mission: a full autonomous loop over simulated time — a drone switches
+// between discovery and tracking modes while a 125 Hz camera streams
+// frames, with per-frame deadlines. Compares static pre-computed HaX-CoNN
+// schedules against the dynamic (D-HaX-CoNN) regime that learns each
+// mode's schedule on-line.
+//
+// Run with:
+//
+//	go run ./examples/mission
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haxconn/internal/autoloop"
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	modes := []autoloop.Mode{
+		{Name: "discovery", Networks: []string{"ResNet152", "Inception"}, Objective: schedule.MinMaxLatency},
+		{Name: "tracking", Networks: []string{"GoogleNet", "ResNet101"}, Objective: schedule.MinMaxLatency},
+	}
+	mission := []autoloop.Phase{
+		{Mode: "discovery", Frames: 40},
+		{Mode: "tracking", Frames: 40},
+		{Mode: "discovery", Frames: 40},
+	}
+
+	for _, dynamic := range []bool{false, true} {
+		cfg := autoloop.Config{
+			Platform:        soc.Orin(),
+			Modes:           modes,
+			PeriodMs:        8, // 125 Hz camera
+			DeadlineMs:      12,
+			Dynamic:         dynamic,
+			SolverTimeScale: 50, // pretend Z3-scale solve times
+		}
+		loop, err := autoloop.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, st, err := loop.Run(mission)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regime := "static (pre-computed CFG schedules)"
+		if dynamic {
+			regime = "dynamic (D-HaX-CoNN on-line)"
+		}
+		fmt.Printf("== %s ==\n", regime)
+		fmt.Printf("  frames %d, mode switches %d, schedules deployed %d\n",
+			st.Frames, st.ModeSwitches, st.SchedulesDeployed)
+		fmt.Printf("  latency mean %.2f ms, p95 %.2f, p99 %.2f, max %.2f\n",
+			st.MeanMs, st.P95Ms, st.P99Ms, st.MaxMs)
+		fmt.Printf("  deadline misses %d (%.1f%%), throughput %.1f fps\n\n",
+			st.Misses, 100*st.MissRate, st.ThroughputFPS)
+	}
+	fmt.Println("The dynamic regime pays a short warm-up per unseen mode (the naive")
+	fmt.Println("schedule runs while the solver searches), then matches the static")
+	fmt.Println("optimum — the trade Sec. 3.5 of the paper describes.")
+}

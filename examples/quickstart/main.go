@@ -1,0 +1,48 @@
+// Quickstart: schedule two concurrent DNNs on NVIDIA Orin with HaX-CoNN
+// and compare the result against running everything on the GPU.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	// A perception stack runs object detection (ResNet101) and scene
+	// classification (GoogleNet) on every camera frame. Both must finish
+	// before planning starts, so we minimize the combined latency.
+	req := core.Request{
+		Platform:  soc.Orin(),
+		Networks:  []string{"GoogleNet", "ResNet101"},
+		Objective: schedule.MinMaxLatency,
+	}
+
+	res, err := core.Plan(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("HaX-CoNN schedule:", res.Description)
+	fmt.Printf("combined latency:  %.2f ms (%.1f fps)\n", res.MeasuredMs, res.FPS)
+	for i, name := range req.Networks {
+		fmt.Printf("  %-10s %.2f ms\n", name, res.ItemLatencyMs[i])
+	}
+	fmt.Printf("solver explored %d schedules in %v\n", res.SolverStats.Evals, res.SolverStats.Elapsed)
+
+	// How much did contention-aware layer-level mapping buy us?
+	cmp, err := core.Compare(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name, best := cmp.BestBaseline(req.Objective)
+	fmt.Printf("\nbest baseline (%s): %.2f ms\n", name, best.MeasuredMs)
+	fmt.Printf("improvement: %.1f%%\n", 100*cmp.Improvement(req.Objective))
+}

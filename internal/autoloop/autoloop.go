@@ -1,0 +1,304 @@
+// Package autoloop executes autonomous-system workloads over simulated
+// wall-clock time: a camera stream arrives at a fixed period, every frame
+// runs the current mode's concurrent-DNN schedule, and the system switches
+// between modes (discovery, tracking, ...) along a control-flow graph —
+// the operating regime Sec. 3.5 of the paper describes.
+//
+// Two scheduling regimes are supported, matching the paper:
+//
+//   - Static: each mode's optimal schedule is pre-computed offline and
+//     toggled instantly on a mode switch (fixed CFGs).
+//
+//   - Dynamic (D-HaX-CoNN): an unseen mode starts on the best naive
+//     schedule while the anytime solver runs on a CPU core; each incumbent
+//     the solver reports is deployed at the frame boundary where it
+//     becomes available (Fig. 7).
+//
+// The loop reports per-frame latencies and QoS statistics (deadline miss
+// rate, percentiles) — the "safety and QoS requirements" the paper's
+// introduction motivates.
+package autoloop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+	"haxconn/internal/solver"
+)
+
+// Mode is one operating mode of the autonomous system: a concurrent-DNN
+// workload with an objective.
+type Mode struct {
+	Name      string
+	Networks  []string
+	After     [][]int
+	Objective schedule.Objective
+}
+
+// Phase is one segment of the mission timeline: a mode active for a
+// number of frames.
+type Phase struct {
+	Mode   string
+	Frames int
+}
+
+// Config controls the loop.
+type Config struct {
+	Platform *soc.Platform
+	Modes    []Mode
+	// PeriodMs is the sensor period (frame arrival interval).
+	PeriodMs float64
+	// DeadlineMs marks a frame late when its latency exceeds it; zero
+	// disables deadline tracking.
+	DeadlineMs float64
+	// Dynamic enables D-HaX-CoNN: unseen modes start naive and improve
+	// on-line instead of being pre-computed.
+	Dynamic bool
+	// SolverTimeScale stretches solver wall time when mapping it onto the
+	// simulated timeline, so convergence behaviour at Z3-like solve times
+	// (seconds) can be studied even though this solver finishes in
+	// milliseconds. 1 means real time.
+	SolverTimeScale float64
+}
+
+func (c Config) scale() float64 {
+	if c.SolverTimeScale <= 0 {
+		return 1
+	}
+	return c.SolverTimeScale
+}
+
+// FrameRecord is one processed frame.
+type FrameRecord struct {
+	Mode      string
+	Index     int // frame index within the mission
+	ArrivalMs float64
+	StartMs   float64
+	EndMs     float64
+	LatencyMs float64 // end - arrival (includes queueing behind late frames)
+	Late      bool
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Frames               int
+	MeanMs, P50Ms, P95Ms float64
+	P99Ms, MaxMs         float64
+	Misses               int
+	MissRate             float64
+	ModeSwitches         int
+	SchedulesDeployed    int // > ModeSwitches when dynamic improvements land
+	SimulatedDurationMs  float64
+	ThroughputFPS        float64
+}
+
+// Loop is the autonomous-loop executor.
+type Loop struct {
+	cfg   Config
+	modes map[string]Mode
+	plans map[string]*plan
+}
+
+// plan caches everything needed to execute one mode.
+type plan struct {
+	prob     *schedule.Problem
+	profile  *schedule.Profile
+	static   *schedule.Schedule // optimal (static regime)
+	anytime  *solver.Anytime    // incumbent history (dynamic regime)
+	perFrame map[string]float64 // memoized frame latency per schedule key
+}
+
+// New validates the configuration and prepares mode lookups.
+func New(cfg Config) (*Loop, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("autoloop: nil platform")
+	}
+	if cfg.PeriodMs <= 0 {
+		return nil, fmt.Errorf("autoloop: non-positive period %g", cfg.PeriodMs)
+	}
+	if len(cfg.Modes) == 0 {
+		return nil, fmt.Errorf("autoloop: no modes")
+	}
+	l := &Loop{cfg: cfg, modes: map[string]Mode{}, plans: map[string]*plan{}}
+	for _, m := range cfg.Modes {
+		if m.Name == "" || len(m.Networks) == 0 {
+			return nil, fmt.Errorf("autoloop: mode %q invalid", m.Name)
+		}
+		if _, dup := l.modes[m.Name]; dup {
+			return nil, fmt.Errorf("autoloop: duplicate mode %q", m.Name)
+		}
+		l.modes[m.Name] = m
+	}
+	return l, nil
+}
+
+// prepare plans a mode: static optimal or dynamic incumbent history.
+func (l *Loop) prepare(m Mode) (*plan, error) {
+	if p, ok := l.plans[m.Name]; ok {
+		return p, nil
+	}
+	req := core.Request{
+		Platform:  l.cfg.Platform,
+		Networks:  m.Networks,
+		After:     m.After,
+		Objective: m.Objective,
+	}
+	p := &plan{perFrame: map[string]float64{}}
+	if l.cfg.Dynamic {
+		anytime, prob, pr, err := core.PlanDynamic(req)
+		if err != nil {
+			return nil, err
+		}
+		p.prob, p.profile, p.anytime = prob, pr, anytime
+	} else {
+		res, err := core.Plan(req)
+		if err != nil {
+			return nil, err
+		}
+		p.prob, p.profile, p.static = res.Problem, res.Profile, res.Schedule
+	}
+	l.plans[m.Name] = p
+	return p, nil
+}
+
+// scheduleAt returns the schedule in force at the given time since the
+// mode became active.
+func (p *plan) scheduleAt(sinceModeStartMs float64, scale float64) *schedule.Schedule {
+	if p.static != nil {
+		return p.static
+	}
+	solverTime := time.Duration(sinceModeStartMs / scale * float64(time.Millisecond))
+	return p.anytime.ScheduleAt(solverTime)
+}
+
+// frameLatency measures (and memoizes) one frame's latency under a
+// schedule on the ground-truth simulator.
+func (p *plan) frameLatency(plat *soc.Platform, s *schedule.Schedule) (float64, error) {
+	key := scheduleKey(s)
+	if ms, ok := p.perFrame[key]; ok {
+		return ms, nil
+	}
+	gt := sim.GroundTruth{SatBW: plat.SatBW()}
+	ev, err := schedule.Evaluate(p.prob, p.profile, s, gt)
+	if err != nil {
+		return 0, err
+	}
+	p.perFrame[key] = ev.MakespanMs
+	return ev.MakespanMs, nil
+}
+
+func scheduleKey(s *schedule.Schedule) string {
+	b := make([]byte, 0, 64)
+	for _, row := range s.Assign {
+		for _, a := range row {
+			b = append(b, byte('0'+a))
+		}
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// Run executes the mission timeline and returns per-frame records plus
+// aggregate statistics.
+func (l *Loop) Run(mission []Phase) ([]FrameRecord, *Stats, error) {
+	if len(mission) == 0 {
+		return nil, nil, fmt.Errorf("autoloop: empty mission")
+	}
+	var (
+		records  []FrameRecord
+		now      float64 // completion time of the previous frame
+		frameIdx int
+		deployed = map[string]bool{}
+		switches int
+	)
+	for pi, ph := range mission {
+		mode, ok := l.modes[ph.Mode]
+		if !ok {
+			return nil, nil, fmt.Errorf("autoloop: mission phase %d references unknown mode %q", pi, ph.Mode)
+		}
+		if ph.Frames <= 0 {
+			return nil, nil, fmt.Errorf("autoloop: mission phase %d has %d frames", pi, ph.Frames)
+		}
+		p, err := l.prepare(mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		switches++
+		modeStart := float64(frameIdx) * l.cfg.PeriodMs
+		for f := 0; f < ph.Frames; f++ {
+			arrival := float64(frameIdx) * l.cfg.PeriodMs
+			start := math.Max(arrival, now)
+			s := p.scheduleAt(start-modeStart, l.cfg.scale())
+			deployed[ph.Mode+"/"+scheduleKey(s)] = true
+			lat, err := p.frameLatency(l.cfg.Platform, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			end := start + lat
+			rec := FrameRecord{
+				Mode:      ph.Mode,
+				Index:     frameIdx,
+				ArrivalMs: arrival,
+				StartMs:   start,
+				EndMs:     end,
+				LatencyMs: end - arrival,
+			}
+			if l.cfg.DeadlineMs > 0 && rec.LatencyMs > l.cfg.DeadlineMs {
+				rec.Late = true
+			}
+			records = append(records, rec)
+			now = end
+			frameIdx++
+		}
+	}
+	return records, summarize(records, switches, len(deployed)), nil
+}
+
+func summarize(records []FrameRecord, switches, deployed int) *Stats {
+	st := &Stats{Frames: len(records), ModeSwitches: switches, SchedulesDeployed: deployed}
+	if len(records) == 0 {
+		return st
+	}
+	lats := make([]float64, len(records))
+	var sum float64
+	for i, r := range records {
+		lats[i] = r.LatencyMs
+		sum += r.LatencyMs
+		if r.Late {
+			st.Misses++
+		}
+	}
+	sort.Float64s(lats)
+	st.MeanMs = sum / float64(len(lats))
+	st.P50Ms = percentile(lats, 0.50)
+	st.P95Ms = percentile(lats, 0.95)
+	st.P99Ms = percentile(lats, 0.99)
+	st.MaxMs = lats[len(lats)-1]
+	st.MissRate = float64(st.Misses) / float64(len(records))
+	st.SimulatedDurationMs = records[len(records)-1].EndMs
+	if st.SimulatedDurationMs > 0 {
+		st.ThroughputFPS = 1000 * float64(len(records)) / st.SimulatedDurationMs
+	}
+	return st
+}
+
+// percentile returns the p-quantile of sorted data (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

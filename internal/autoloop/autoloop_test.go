@@ -1,0 +1,186 @@
+package autoloop
+
+import (
+	"testing"
+
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func testModes() []Mode {
+	return []Mode{
+		{Name: "discovery", Networks: []string{"ResNet152", "Inception"}, Objective: schedule.MinMaxLatency},
+		{Name: "tracking", Networks: []string{"GoogleNet", "ResNet101"}, Objective: schedule.MinMaxLatency},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil platform should fail")
+	}
+	if _, err := New(Config{Platform: soc.Orin(), PeriodMs: 10}); err == nil {
+		t.Error("no modes should fail")
+	}
+	if _, err := New(Config{Platform: soc.Orin(), Modes: testModes()}); err == nil {
+		t.Error("zero period should fail")
+	}
+	dup := append(testModes(), testModes()[0])
+	if _, err := New(Config{Platform: soc.Orin(), PeriodMs: 10, Modes: dup}); err == nil {
+		t.Error("duplicate mode should fail")
+	}
+	if _, err := New(Config{Platform: soc.Orin(), PeriodMs: 10, Modes: []Mode{{Name: "x"}}}); err == nil {
+		t.Error("mode without networks should fail")
+	}
+}
+
+func TestStaticMission(t *testing.T) {
+	l, err := New(Config{
+		Platform: soc.Orin(),
+		Modes:    testModes(),
+		PeriodMs: 30, // slow camera: no queueing
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := l.Run([]Phase{{Mode: "discovery", Frames: 5}, {Mode: "tracking", Frames: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 || st.Frames != 10 {
+		t.Fatalf("frames = %d/%d", len(recs), st.Frames)
+	}
+	if st.ModeSwitches != 2 {
+		t.Errorf("mode switches = %d", st.ModeSwitches)
+	}
+	// Static regime: exactly one schedule per mode.
+	if st.SchedulesDeployed != 2 {
+		t.Errorf("schedules deployed = %d, want 2", st.SchedulesDeployed)
+	}
+	// With a 30 ms period and ~5 ms schedules there is no queueing: every
+	// frame starts at its arrival.
+	for _, r := range recs {
+		if r.StartMs != r.ArrivalMs {
+			t.Errorf("frame %d queued (%g vs %g) despite slack", r.Index, r.StartMs, r.ArrivalMs)
+		}
+	}
+	if st.P50Ms <= 0 || st.P99Ms < st.P50Ms || st.MaxMs < st.P99Ms {
+		t.Errorf("inconsistent percentiles: %+v", st)
+	}
+}
+
+func TestDeadlineTracking(t *testing.T) {
+	l, err := New(Config{
+		Platform:   soc.Orin(),
+		Modes:      testModes(),
+		PeriodMs:   1,   // oversubscribed camera
+		DeadlineMs: 0.5, // impossible deadline
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := l.Run([]Phase{{Mode: "tracking", Frames: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 8 || st.MissRate != 1 {
+		t.Errorf("misses = %d rate = %g, want all late", st.Misses, st.MissRate)
+	}
+	// Oversubscription queues frames: latencies must grow monotonically.
+	recs, _, _ := l.Run([]Phase{{Mode: "tracking", Frames: 8}})
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LatencyMs < recs[i-1].LatencyMs-1e-9 {
+			t.Errorf("frame %d latency %g below previous %g under overload", i, recs[i].LatencyMs, recs[i-1].LatencyMs)
+		}
+	}
+}
+
+func TestDynamicDeploysImprovements(t *testing.T) {
+	l, err := New(Config{
+		Platform:        soc.Xavier(),
+		Modes:           []Mode{{Name: "m", Networks: []string{"ResNet152", "Inception"}, Objective: schedule.MinMaxLatency}},
+		PeriodMs:        25,
+		Dynamic:         true,
+		SolverTimeScale: 100, // pretend the solver is 100x slower (Z3-like)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := l.Run([]Phase{{Mode: "m", Frames: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SchedulesDeployed < 2 {
+		t.Fatalf("dynamic run deployed %d schedules, want several", st.SchedulesDeployed)
+	}
+	// Convergence: the last frame must be at least as fast as the first
+	// (which ran the naive schedule).
+	first, last := recs[0], recs[len(recs)-1]
+	if last.EndMs-last.StartMs > first.EndMs-first.StartMs+1e-9 {
+		t.Errorf("last frame service time %.2f above first %.2f — no convergence",
+			last.EndMs-last.StartMs, first.EndMs-first.StartMs)
+	}
+}
+
+func TestStaticBeatsOrMatchesDynamicSteadyState(t *testing.T) {
+	// After convergence the dynamic loop runs the same optimal schedule as
+	// the static one, so mean service time of the tail should match.
+	mode := Mode{Name: "m", Networks: []string{"VGG19", "ResNet152"}, Objective: schedule.MinMaxLatency}
+	static, err := New(Config{Platform: soc.Orin(), Modes: []Mode{mode}, PeriodMs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := New(Config{Platform: soc.Orin(), Modes: []Mode{mode}, PeriodMs: 50, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := static.Run([]Phase{{Mode: "m", Frames: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, _, err := dynamic.Run([]Phase{{Mode: "m", Frames: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTail := rs[len(rs)-1].EndMs - rs[len(rs)-1].StartMs
+	dTail := rd[len(rd)-1].EndMs - rd[len(rd)-1].StartMs
+	if dTail > sTail*1.02 {
+		t.Errorf("dynamic steady state %.2f ms above static optimum %.2f ms", dTail, sTail)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	l, err := New(Config{Platform: soc.Orin(), Modes: testModes(), PeriodMs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Run(nil); err == nil {
+		t.Error("empty mission should fail")
+	}
+	if _, _, err := l.Run([]Phase{{Mode: "nope", Frames: 1}}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if _, _, err := l.Run([]Phase{{Mode: "tracking", Frames: 0}}); err == nil {
+		t.Error("zero frames should fail")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(data, 0.5); p != 5 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := percentile(data, 0.95); p != 10 {
+		t.Errorf("p95 = %g", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %g", p)
+	}
+}
+
+func TestScheduleKeyDistinguishes(t *testing.T) {
+	a := &schedule.Schedule{Assign: [][]int{{0, 0, 1}}}
+	b := &schedule.Schedule{Assign: [][]int{{0, 1, 0}}}
+	if scheduleKey(a) == scheduleKey(b) {
+		t.Error("distinct schedules share a key")
+	}
+}

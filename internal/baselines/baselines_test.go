@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"testing"
+
+	"haxconn/internal/nn"
+	"haxconn/internal/profiler"
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func setup(t *testing.T, names ...string) (*schedule.Problem, *schedule.Profile) {
+	t.Helper()
+	prob := &schedule.Problem{Platform: soc.Orin()}
+	for _, n := range names {
+		prob.Items = append(prob.Items, schedule.Item{Net: nn.MustByName(n)})
+	}
+	pr, err := profiler.Characterize(prob, profiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, pr
+}
+
+func TestAllBaselinesValidate(t *testing.T) {
+	_, pr := setup(t, "GoogleNet", "ResNet101", "VGG19")
+	all := All(pr)
+	if len(all) != len(Names) {
+		t.Fatalf("got %d baselines, want %d", len(all), len(Names))
+	}
+	for name, s := range all {
+		if err := s.Validate(pr); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGPUOnlyUsesOnlyGPU(t *testing.T) {
+	prob, pr := setup(t, "GoogleNet", "ResNet101")
+	gpu := prob.Platform.AccelIndex("GPU")
+	s := GPUOnly(pr)
+	for i, row := range s.Assign {
+		for g, a := range row {
+			if a != gpu {
+				t.Fatalf("item %d group %d on accel %d, want GPU", i, g, a)
+			}
+		}
+	}
+}
+
+func TestNaiveConcurrentAlternates(t *testing.T) {
+	prob, pr := setup(t, "GoogleNet", "ResNet101", "VGG19")
+	s := NaiveConcurrent(pr)
+	gpu := prob.Platform.AccelIndex("GPU")
+	dla := prob.Platform.AccelIndex("DLA")
+	wants := []int{gpu, dla, gpu}
+	for i, row := range s.Assign {
+		for _, a := range row {
+			if a != wants[i] {
+				t.Fatalf("item %d mapped to %d, want %d", i, a, wants[i])
+			}
+		}
+		if s.Transitions(i) != 0 {
+			t.Errorf("naive schedule must be whole-network (item %d has transitions)", i)
+		}
+	}
+}
+
+func TestMensaIsGreedyPerGroup(t *testing.T) {
+	_, pr := setup(t, "GoogleNet")
+	s := Mensa(pr)
+	// Verify the greedy invariant: each group's choice minimizes local cost
+	// given the previous choice.
+	row := s.Assign[0]
+	for g := range row {
+		chosenCost := pr.Exec[0][g][row[g]].LatencyMs
+		if g > 0 && row[g-1] != row[g] {
+			chosenCost += pr.TransOutMs[0][g-1][row[g-1]] + pr.TransInMs[0][g][row[g]]
+		}
+		for _, a := range pr.Allowed {
+			alt := pr.Exec[0][g][a].LatencyMs
+			if g > 0 && row[g-1] != a {
+				alt += pr.TransOutMs[0][g-1][row[g-1]] + pr.TransInMs[0][g][a]
+			}
+			if alt < chosenCost-1e-12 {
+				t.Fatalf("group %d: greedy picked %d (%.4f) over %d (%.4f)", g, row[g], chosenCost, a, alt)
+			}
+		}
+	}
+}
+
+func TestHeraldBalancesLoad(t *testing.T) {
+	prob, pr := setup(t, "ResNet101", "ResNet101")
+	s := Herald(pr)
+	// With two identical networks Herald must use both accelerators.
+	used := map[int]bool{}
+	for _, row := range s.Assign {
+		for _, a := range row {
+			used[a] = true
+		}
+	}
+	if len(used) < 2 {
+		t.Error("Herald should spread identical networks over both accelerators")
+	}
+	_ = prob
+}
+
+func TestH2HLimitsTransitions(t *testing.T) {
+	_, pr := setup(t, "GoogleNet", "ResNet101")
+	s := H2H(pr)
+	// H2H is transition-aware: its DP should not thrash between
+	// accelerators on every group the way Herald can.
+	h := Herald(pr)
+	for i := range pr.Groups {
+		if s.Transitions(i) > h.Transitions(i)+2 {
+			t.Errorf("item %d: H2H transitions %d much above Herald %d", i, s.Transitions(i), h.Transitions(i))
+		}
+	}
+}
+
+func TestH2HFirstNetworkIsDPOptimal(t *testing.T) {
+	// With no prior load, H2H's DP must find the single-network
+	// exec+transition optimum; compare against exhaustive enumeration over
+	// schedules with up to 2 transitions.
+	_, pr := setup(t, "GoogleNet")
+	s := H2H(pr)
+	cost := func(row []int) float64 {
+		var c float64
+		for g, a := range row {
+			c += pr.Exec[0][g][a].LatencyMs
+			if g > 0 && row[g-1] != a {
+				c += pr.TransOutMs[0][g-1][row[g-1]] + pr.TransInMs[0][g][a]
+			}
+		}
+		return c
+	}
+	got := cost(s.Assign[0])
+	// Exhaustive over all 2^G assignments (G <= 12).
+	g := pr.NumGroups(0)
+	best := got
+	row := make([]int, g)
+	var rec func(int)
+	rec = func(i int) {
+		if i == g {
+			if c := cost(row); c < best {
+				best = c
+			}
+			return
+		}
+		for _, a := range pr.Allowed {
+			row[i] = a
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if got > best+1e-9 {
+		t.Errorf("H2H DP cost %.4f, exhaustive optimum %.4f", got, best)
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	_, pr := setup(t, "GoogleNet", "ResNet101")
+	a := All(pr)
+	b := All(pr)
+	for name := range a {
+		x, y := a[name], b[name]
+		for i := range x.Assign {
+			for g := range x.Assign[i] {
+				if x.Assign[i][g] != y.Assign[i][g] {
+					t.Fatalf("%s: non-deterministic assignment", name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package energy extends HaX-CoNN with energy accounting and energy-aware
+// schedule selection — the AxoNN-style direction (Dagli et al., DAC'22)
+// the paper positions as complementary: AxoNN maps layers of a *single*
+// DNN under an energy budget; here the same budget idea is applied to
+// HaX-CoNN's concurrent, contention-aware schedules.
+//
+// The model is a standard two-component SoC power model: per-accelerator
+// idle/active power integrated over the simulator's busy/idle timeline,
+// plus DRAM energy proportional to the bytes actually transferred during
+// each contention interval.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"haxconn/internal/contention"
+	"haxconn/internal/schedule"
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+	"haxconn/internal/solver"
+)
+
+// Params holds the power model of one platform.
+type Params struct {
+	// IdleW and ActiveW are per-accelerator powers in watts, indexed like
+	// Platform.Accels.
+	IdleW   []float64
+	ActiveW []float64
+	// DRAMJPerGB is the DRAM transfer energy in joules per gigabyte.
+	DRAMJPerGB float64
+}
+
+// DefaultParams returns the power model for an evaluated platform. Values
+// follow the published power envelopes of the parts (Orin AGX 15-60 W
+// modes, Xavier AGX 10-30 W, SD865 ~5 W) split across the accelerators,
+// with LPDDR transfer energy in the 0.4-0.6 J/GB range.
+func DefaultParams(p *soc.Platform) (*Params, error) {
+	kindPowers := map[string]map[soc.Kind][2]float64{
+		// platform -> kind -> {idle, active} watts
+		"Orin":     {soc.GPU: {4, 28}, soc.DLA: {1, 9}, soc.CPU: {2, 10}},
+		"Xavier":   {soc.GPU: {3, 18}, soc.DLA: {0.8, 6}, soc.CPU: {1.5, 7}},
+		"SD865":    {soc.GPU: {0.5, 4}, soc.DSP: {0.2, 2}, soc.CPU: {0.4, 3}},
+		"OrinNX":   {soc.GPU: {2, 15}, soc.DLA: {0.8, 7}, soc.CPU: {1.5, 7}},
+		"XavierNX": {soc.GPU: {1.5, 10}, soc.DLA: {0.6, 5}, soc.CPU: {1, 5}},
+	}
+	dram := map[string]float64{"Orin": 0.45, "Xavier": 0.60, "SD865": 0.40, "OrinNX": 0.45, "XavierNX": 0.60}
+	powers, ok := kindPowers[p.Name]
+	if !ok {
+		return nil, fmt.Errorf("energy: no power model for platform %s", p.Name)
+	}
+	prm := &Params{DRAMJPerGB: dram[p.Name]}
+	for _, a := range p.Accels {
+		pw, ok := powers[a.Kind]
+		if !ok {
+			return nil, fmt.Errorf("energy: no power entry for %s/%s", p.Name, a.Name)
+		}
+		prm.IdleW = append(prm.IdleW, pw[0])
+		prm.ActiveW = append(prm.ActiveW, pw[1])
+	}
+	return prm, nil
+}
+
+// Breakdown is the energy of one executed schedule, in millijoules
+// (watts x milliseconds).
+type Breakdown struct {
+	PerAccelMJ []float64 // active+idle energy per accelerator
+	DRAMMJ     float64   // transfer energy
+	TotalMJ    float64
+	// AvgPowerW is total energy over the makespan.
+	AvgPowerW float64
+}
+
+// Measure integrates the power model over a simulation result.
+func Measure(p *soc.Platform, prm *Params, res *sim.Result) (*Breakdown, error) {
+	if len(prm.ActiveW) != len(p.Accels) || len(prm.IdleW) != len(p.Accels) {
+		return nil, fmt.Errorf("energy: params cover %d accelerators, platform has %d", len(prm.ActiveW), len(p.Accels))
+	}
+	b := &Breakdown{PerAccelMJ: make([]float64, len(p.Accels))}
+	for ai := range p.Accels {
+		busy := res.BusyMs[ai]
+		idle := res.MakespanMs - busy
+		if idle < 0 {
+			idle = 0
+		}
+		b.PerAccelMJ[ai] = busy*prm.ActiveW[ai] + idle*prm.IdleW[ai]
+		b.TotalMJ += b.PerAccelMJ[ai]
+	}
+	// DRAM energy: bytes moved per contention interval. TotalDemand is in
+	// GB/s; GB/s * ms = 1e-3 GB.
+	for _, iv := range res.Intervals {
+		gb := iv.TotalDemand * (iv.EndMs - iv.StartMs) * 1e-3
+		b.DRAMMJ += gb * prm.DRAMJPerGB * 1000 // J -> mJ
+	}
+	b.TotalMJ += b.DRAMMJ
+	if res.MakespanMs > 0 {
+		b.AvgPowerW = b.TotalMJ / res.MakespanMs
+	}
+	return b, nil
+}
+
+// Eval is one energy-aware evaluation of a schedule.
+type Eval struct {
+	Schedule  *schedule.Schedule
+	LatencyMs float64
+	EnergyMJ  float64
+	EDP       float64 // energy-delay product, mJ*ms
+}
+
+// evaluate measures a schedule's latency (ground truth) and energy.
+func evaluate(prob *schedule.Problem, pr *schedule.Profile, prm *Params, s *schedule.Schedule) (*Eval, error) {
+	gt := sim.GroundTruth{SatBW: prob.Platform.SatBW()}
+	ev, err := schedule.Evaluate(prob, pr, s, gt)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Measure(prob.Platform, prm, ev.Result)
+	if err != nil {
+		return nil, err
+	}
+	return &Eval{
+		Schedule:  s,
+		LatencyMs: ev.MakespanMs,
+		EnergyMJ:  b.TotalMJ,
+		EDP:       b.TotalMJ * ev.MakespanMs,
+	}, nil
+}
+
+// MinEnergyUnderLatency returns the lowest-energy schedule whose measured
+// latency stays within latencyCapMs (the AxoNN formulation transplanted to
+// concurrent DNNs). A non-positive cap means "no constraint" and yields
+// the global energy minimum. The model parameter is accepted for symmetry
+// with the latency solvers but the final selection is made on ground
+// truth, mirroring how an energy budget would be enforced on silicon.
+func MinEnergyUnderLatency(prob *schedule.Problem, pr *schedule.Profile, prm *Params, _ contention.Model, latencyCapMs float64, maxTransitions int) (*Eval, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	cands := make([][][]int, len(prob.Items))
+	for i := range prob.Items {
+		cands[i] = solver.Candidates(pr, i, maxTransitions)
+	}
+	var best *Eval
+	assign := make([][]int, len(prob.Items))
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(prob.Items) {
+			s := &schedule.Schedule{Assign: make([][]int, len(assign))}
+			for i, row := range assign {
+				s.Assign[i] = row
+			}
+			ev, err := evaluate(prob, pr, prm, s)
+			if err != nil {
+				return err
+			}
+			if latencyCapMs > 0 && ev.LatencyMs > latencyCapMs {
+				return nil
+			}
+			if best == nil || ev.EnergyMJ < best.EnergyMJ {
+				ev.Schedule = s.Clone()
+				best = ev
+			}
+			return nil
+		}
+		for _, row := range cands[depth] {
+			assign[depth] = row
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("energy: no schedule satisfies latency cap %.2f ms", latencyCapMs)
+	}
+	return best, nil
+}
+
+// Pareto returns the latency/energy Pareto frontier over all candidate
+// schedules (ascending latency, descending energy) — the trade-off curve
+// an energy-aware runtime would expose to a mission planner.
+func Pareto(prob *schedule.Problem, pr *schedule.Profile, prm *Params, maxTransitions int) ([]Eval, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	cands := make([][][]int, len(prob.Items))
+	for i := range prob.Items {
+		cands[i] = solver.Candidates(pr, i, maxTransitions)
+	}
+	var all []Eval
+	assign := make([][]int, len(prob.Items))
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(prob.Items) {
+			s := &schedule.Schedule{Assign: make([][]int, len(assign))}
+			for i, row := range assign {
+				s.Assign[i] = append([]int(nil), row...)
+			}
+			ev, err := evaluate(prob, pr, prm, s)
+			if err != nil {
+				return err
+			}
+			all = append(all, *ev)
+			return nil
+		}
+		for _, row := range cands[depth] {
+			assign[depth] = row
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return paretoFilter(all), nil
+}
+
+// paretoFilter keeps the non-dominated points, sorted by latency.
+func paretoFilter(all []Eval) []Eval {
+	var front []Eval
+	for _, c := range all {
+		dominated := false
+		for _, o := range all {
+			if (o.LatencyMs < c.LatencyMs && o.EnergyMJ <= c.EnergyMJ) ||
+				(o.LatencyMs <= c.LatencyMs && o.EnergyMJ < c.EnergyMJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	// Sort ascending by latency (simple insertion keeps it dependency-free).
+	for i := 1; i < len(front); i++ {
+		for j := i; j > 0 && front[j].LatencyMs < front[j-1].LatencyMs; j-- {
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	// Deduplicate equal points.
+	out := front[:0]
+	for i, f := range front {
+		if i > 0 && math.Abs(f.LatencyMs-out[len(out)-1].LatencyMs) < 1e-9 &&
+			math.Abs(f.EnergyMJ-out[len(out)-1].EnergyMJ) < 1e-9 {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

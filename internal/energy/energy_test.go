@@ -1,0 +1,178 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"haxconn/internal/baselines"
+	"haxconn/internal/nn"
+	"haxconn/internal/profiler"
+	"haxconn/internal/schedule"
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+)
+
+func setup(t *testing.T, plat string, names ...string) (*schedule.Problem, *schedule.Profile, *Params) {
+	t.Helper()
+	p, ok := soc.PlatformByName(plat)
+	if !ok {
+		t.Fatalf("unknown platform %s", plat)
+	}
+	prob := &schedule.Problem{Platform: p}
+	for _, n := range names {
+		prob.Items = append(prob.Items, schedule.Item{Net: nn.MustByName(n)})
+	}
+	pr, err := profiler.Characterize(prob, profiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm, err := DefaultParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, pr, prm
+}
+
+func TestDefaultParamsAllPlatforms(t *testing.T) {
+	for _, p := range soc.Platforms() {
+		prm, err := DefaultParams(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(prm.ActiveW) != len(p.Accels) {
+			t.Errorf("%s: %d powers for %d accels", p.Name, len(prm.ActiveW), len(p.Accels))
+		}
+		for i := range prm.ActiveW {
+			if prm.ActiveW[i] <= prm.IdleW[i] {
+				t.Errorf("%s accel %d: active %g <= idle %g", p.Name, i, prm.ActiveW[i], prm.IdleW[i])
+			}
+		}
+		if prm.DRAMJPerGB <= 0 {
+			t.Errorf("%s: DRAM energy %g", p.Name, prm.DRAMJPerGB)
+		}
+	}
+	unknown := soc.Orin()
+	unknown.Name = "TPUv9"
+	if _, err := DefaultParams(unknown); err == nil {
+		t.Error("unknown platform should fail")
+	}
+}
+
+func TestMeasurePositiveAndDecomposes(t *testing.T) {
+	prob, pr, prm := setup(t, "Orin", "GoogleNet", "ResNet101")
+	s := baselines.NaiveConcurrent(pr)
+	gt := sim.GroundTruth{SatBW: prob.Platform.SatBW()}
+	ev, err := schedule.Evaluate(prob, pr, s, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(prob.Platform, prm, ev.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalMJ <= 0 || b.DRAMMJ <= 0 || b.AvgPowerW <= 0 {
+		t.Fatalf("non-positive energy: %+v", b)
+	}
+	var sum float64
+	for _, e := range b.PerAccelMJ {
+		sum += e
+	}
+	if math.Abs(sum+b.DRAMMJ-b.TotalMJ) > 1e-9 {
+		t.Errorf("breakdown does not sum: %g + %g != %g", sum, b.DRAMMJ, b.TotalMJ)
+	}
+	// Average power must sit between global idle and global active power.
+	var idle, active float64
+	for i := range prm.IdleW {
+		idle += prm.IdleW[i]
+		active += prm.ActiveW[i]
+	}
+	if b.AvgPowerW < idle*0.9 || b.AvgPowerW > active*2 {
+		t.Errorf("average power %g W outside plausible [%g, %g]", b.AvgPowerW, idle, active)
+	}
+}
+
+func TestDLAIsMoreEfficient(t *testing.T) {
+	// A single network run entirely on the DLA must consume less energy
+	// than on the GPU (lower power, even if slower) — the premise of
+	// energy-aware mapping.
+	prob, pr, prm := setup(t, "Orin", "GoogleNet")
+	gpu := schedule.Uniform(pr, prob.Platform.AccelIndex("GPU"))
+	dla := schedule.Uniform(pr, prob.Platform.AccelIndex("DLA"))
+	eg, err := evaluate(prob, pr, prm, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := evaluate(prob, pr, prm, dla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ed.EnergyMJ >= eg.EnergyMJ {
+		t.Errorf("DLA energy %.2f mJ not below GPU %.2f mJ", ed.EnergyMJ, eg.EnergyMJ)
+	}
+	if ed.LatencyMs <= eg.LatencyMs {
+		t.Errorf("DLA latency %.2f ms should exceed GPU %.2f ms", ed.LatencyMs, eg.LatencyMs)
+	}
+}
+
+func TestMinEnergyUnderLatency(t *testing.T) {
+	prob, pr, prm := setup(t, "Orin", "GoogleNet", "ResNet50")
+	// Unconstrained: global minimum energy.
+	free, err := MinEnergyUnderLatency(prob, pr, prm, nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tightly constrained: must respect the cap and typically pay energy.
+	cap := free.LatencyMs * 0.6
+	tight, err := MinEnergyUnderLatency(prob, pr, prm, nil, cap, 1)
+	if err != nil {
+		t.Skipf("no schedule meets cap %.2f ms", cap)
+	}
+	if tight.LatencyMs > cap+1e-9 {
+		t.Errorf("constrained schedule latency %.2f exceeds cap %.2f", tight.LatencyMs, cap)
+	}
+	if tight.EnergyMJ < free.EnergyMJ-1e-9 {
+		t.Errorf("constrained energy %.2f below unconstrained minimum %.2f", tight.EnergyMJ, free.EnergyMJ)
+	}
+	// Impossible cap errors out.
+	if _, err := MinEnergyUnderLatency(prob, pr, prm, nil, 1e-6, 1); err == nil {
+		t.Error("impossible cap should fail")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	prob, pr, prm := setup(t, "Orin", "GoogleNet", "ResNet50")
+	front, err := Pareto(prob, pr, prm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 2 {
+		t.Fatalf("frontier has %d points; expected a real trade-off", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].LatencyMs < front[i-1].LatencyMs {
+			t.Error("frontier not sorted by latency")
+		}
+		if front[i].EnergyMJ >= front[i-1].EnergyMJ {
+			t.Errorf("frontier point %d not trading energy for latency: %+v vs %+v", i, front[i], front[i-1])
+		}
+	}
+	// Endpoints: the fastest point costs the most energy; the frugalest
+	// point is the slowest.
+	if front[0].EDP <= 0 {
+		t.Error("EDP must be positive")
+	}
+}
+
+func TestMeasureParamMismatch(t *testing.T) {
+	prob, pr, _ := setup(t, "Orin", "GoogleNet")
+	s := schedule.Uniform(pr, 0)
+	gt := sim.GroundTruth{SatBW: prob.Platform.SatBW()}
+	ev, err := schedule.Evaluate(prob, pr, s, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Params{ActiveW: []float64{1}, IdleW: []float64{0.5}, DRAMJPerGB: 0.5}
+	if _, err := Measure(prob.Platform, bad, ev.Result); err == nil {
+		t.Error("mismatched params should fail")
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"haxconn/internal/autoloop"
+	"haxconn/internal/energy"
+	"haxconn/internal/nn"
+	"haxconn/internal/profiler"
+	"haxconn/internal/schedule"
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+)
+
+// QoSResult compares the autonomous loop's QoS under HaX-CoNN schedules
+// against the GPU-only regime — an extension experiment quantifying the
+// "safety and QoS requirements" the paper's introduction motivates.
+type QoSResult struct {
+	PeriodMs, DeadlineMs float64
+	HaX, GPUOnly         *autoloop.Stats
+}
+
+func qosModes() []autoloop.Mode {
+	return []autoloop.Mode{
+		{Name: "discovery", Networks: []string{"ResNet152", "Inception"}, Objective: schedule.MinMaxLatency},
+		{Name: "tracking", Networks: []string{"GoogleNet", "ResNet101"}, Objective: schedule.MinMaxLatency},
+	}
+}
+
+func qosMission() []autoloop.Phase {
+	return []autoloop.Phase{
+		{Mode: "discovery", Frames: 30},
+		{Mode: "tracking", Frames: 30},
+		{Mode: "discovery", Frames: 30},
+	}
+}
+
+// QoSMission runs a three-phase mission (discovery/tracking/discovery,
+// 30 frames each) on Orin at the given camera period and deadline, once
+// with HaX-CoNN static optimal schedules and once with everything
+// serialized on the GPU.
+func QoSMission(periodMs, deadlineMs float64) (*QoSResult, error) {
+	l, err := autoloop.New(autoloop.Config{
+		Platform:   soc.Orin(),
+		Modes:      qosModes(),
+		PeriodMs:   periodMs,
+		DeadlineMs: deadlineMs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, hax, err := l.Run(qosMission())
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := gpuOnlyMissionStats(periodMs, deadlineMs)
+	if err != nil {
+		return nil, err
+	}
+	return &QoSResult{PeriodMs: periodMs, DeadlineMs: deadlineMs, HaX: hax, GPUOnly: gpu}, nil
+}
+
+// gpuOnlyMissionStats replays the mission with every network of every
+// mode serialized on the GPU, through the same arrival process.
+func gpuOnlyMissionStats(periodMs, deadlineMs float64) (*autoloop.Stats, error) {
+	p := soc.Orin()
+	lat := map[string]float64{}
+	for _, m := range qosModes() {
+		prob := &schedule.Problem{Platform: p}
+		for _, n := range m.Networks {
+			prob.Items = append(prob.Items, schedule.Item{Net: nn.MustByName(n)})
+		}
+		pr, err := profiler.Characterize(prob, profiler.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := schedule.Uniform(pr, p.AccelIndex("GPU"))
+		ev, err := schedule.Evaluate(prob, pr, s, sim.GroundTruth{SatBW: p.SatBW()})
+		if err != nil {
+			return nil, err
+		}
+		lat[m.Name] = ev.MakespanMs
+	}
+	var (
+		now    float64
+		frames int
+		sum    float64
+		max    float64
+		misses int
+	)
+	for _, ph := range qosMission() {
+		for f := 0; f < ph.Frames; f++ {
+			arrival := float64(frames) * periodMs
+			start := arrival
+			if now > start {
+				start = now
+			}
+			end := start + lat[ph.Mode]
+			l := end - arrival
+			sum += l
+			if l > max {
+				max = l
+			}
+			if deadlineMs > 0 && l > deadlineMs {
+				misses++
+			}
+			now = end
+			frames++
+		}
+	}
+	st := &autoloop.Stats{
+		Frames:              frames,
+		Misses:              misses,
+		MeanMs:              sum / float64(frames),
+		MaxMs:               max,
+		MissRate:            float64(misses) / float64(frames),
+		SimulatedDurationMs: now,
+	}
+	if now > 0 {
+		st.ThroughputFPS = 1000 * float64(frames) / now
+	}
+	return st, nil
+}
+
+// EnergyParetoResult is the energy extension experiment: the latency/
+// energy frontier of a DNN pair plus an energy-budgeted selection.
+type EnergyParetoResult struct {
+	Front []energy.Eval
+	// Fastest and Frugalest are the frontier endpoints.
+	Fastest, Frugalest energy.Eval
+	// Budgeted is the minimum-energy schedule within 1.2x of the fastest
+	// latency — the AxoNN-style operating point.
+	Budgeted energy.Eval
+}
+
+// EnergyPareto computes the frontier for GoogleNet+ResNet101 on Orin.
+func EnergyPareto() (*EnergyParetoResult, error) {
+	p := soc.Orin()
+	prob := &schedule.Problem{Platform: p, Items: []schedule.Item{
+		{Net: nn.MustByName("GoogleNet")},
+		{Net: nn.MustByName("ResNet101")},
+	}}
+	pr, err := profiler.Characterize(prob, profiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	prm, err := energy.DefaultParams(p)
+	if err != nil {
+		return nil, err
+	}
+	front, err := energy.Pareto(prob, pr, prm, 1)
+	if err != nil {
+		return nil, err
+	}
+	r := &EnergyParetoResult{Front: front}
+	r.Fastest = front[0]
+	r.Frugalest = front[len(front)-1]
+	budgeted, err := energy.MinEnergyUnderLatency(prob, pr, prm, nil, r.Fastest.LatencyMs*1.2, 1)
+	if err != nil {
+		return nil, err
+	}
+	r.Budgeted = *budgeted
+	return r, nil
+}

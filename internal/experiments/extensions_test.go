@@ -1,0 +1,81 @@
+package experiments
+
+import "testing"
+
+func TestQoSMission(t *testing.T) {
+	// 8 ms camera period with a 12 ms deadline: HaX-CoNN schedules fit,
+	// GPU-only serialization of two DNNs often does not.
+	r, err := QoSMission(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HaX.Frames != 90 || r.GPUOnly.Frames != 90 {
+		t.Fatalf("frames: hax %d gpu %d", r.HaX.Frames, r.GPUOnly.Frames)
+	}
+	if r.HaX.MeanMs > r.GPUOnly.MeanMs+1e-9 {
+		t.Errorf("HaX mean latency %.2f above GPU-only %.2f", r.HaX.MeanMs, r.GPUOnly.MeanMs)
+	}
+	if r.HaX.MissRate > r.GPUOnly.MissRate+1e-9 {
+		t.Errorf("HaX miss rate %.2f above GPU-only %.2f", r.HaX.MissRate, r.GPUOnly.MissRate)
+	}
+	if r.HaX.ThroughputFPS <= 0 {
+		t.Error("no throughput recorded")
+	}
+}
+
+func TestEnergyPareto(t *testing.T) {
+	r, err := EnergyPareto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Front) < 2 {
+		t.Fatalf("frontier has %d points", len(r.Front))
+	}
+	if r.Fastest.LatencyMs >= r.Frugalest.LatencyMs {
+		t.Errorf("fastest %.2f ms not faster than frugalest %.2f ms", r.Fastest.LatencyMs, r.Frugalest.LatencyMs)
+	}
+	if r.Fastest.EnergyMJ <= r.Frugalest.EnergyMJ {
+		t.Errorf("fastest energy %.2f mJ not above frugalest %.2f mJ", r.Fastest.EnergyMJ, r.Frugalest.EnergyMJ)
+	}
+	if r.Budgeted.LatencyMs > r.Fastest.LatencyMs*1.2+1e-9 {
+		t.Errorf("budgeted point %.2f ms violates the 1.2x budget of %.2f ms", r.Budgeted.LatencyMs, r.Fastest.LatencyMs)
+	}
+	if r.Budgeted.EnergyMJ > r.Fastest.EnergyMJ+1e-9 {
+		t.Errorf("budgeted energy %.2f mJ above the fastest point's %.2f mJ", r.Budgeted.EnergyMJ, r.Fastest.EnergyMJ)
+	}
+}
+
+func TestAblationLocalSearch(t *testing.T) {
+	hc, err := AblationLocalSearch("Xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.ExactMs <= 0 || hc.HeuristicMs <= 0 {
+		t.Fatalf("bad measurements %+v", hc)
+	}
+	// The heuristic can match but should not beat the exact engine by more
+	// than model noise.
+	if hc.GapPct < -3 {
+		t.Errorf("heuristic measured %.1f%% better than the optimum — bound bug?", -hc.GapPct)
+	}
+}
+
+func TestMeasureQueueing(t *testing.T) {
+	qa, err := MeasureQueueing("Xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qa.QueueingMs) != 6 {
+		t.Fatalf("%d schedulers measured", len(qa.QueueingMs))
+	}
+	// GPU-only serializes everything: it must queue more than HaX-CoNN.
+	if qa.QueueingMs["GPU-only"] <= qa.QueueingMs["HaX-CoNN"] {
+		t.Errorf("GPU-only queueing %.2f not above HaX-CoNN %.2f",
+			qa.QueueingMs["GPU-only"], qa.QueueingMs["HaX-CoNN"])
+	}
+	for name, q := range qa.QueueingMs {
+		if q < 0 {
+			t.Errorf("%s: negative queueing %g", name, q)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Summary describes a network's aggregate characteristics.
+type Summary struct {
+	Name          string  `json:"name"`
+	Layers        int     `json:"layers"`
+	ConvLayers    int     `json:"conv_layers"`
+	FCLayers      int     `json:"fc_layers"`
+	GFLOPs        float64 `json:"gflops"`
+	ParamsM       float64 `json:"params_millions"`
+	WeightMB      float64 `json:"weight_mb"`
+	ActivationMB  float64 `json:"activation_mb"` // sum of layer outputs
+	TransitionPts int     `json:"transition_points"`
+	Input         string  `json:"input"`
+	Output        string  `json:"output"`
+}
+
+// Summarize computes the summary of a network.
+func Summarize(n *Network) Summary {
+	s := Summary{
+		Name:   n.Name,
+		Layers: len(n.Layers),
+		GFLOPs: n.FLOPs() / 1e9,
+		Input:  n.Layers[0].In.String(),
+		Output: n.Layers[len(n.Layers)-1].Out.String(),
+	}
+	var weightBytes, actBytes int64
+	for _, l := range n.Layers {
+		weightBytes += l.WeightBytes()
+		actBytes += l.OutputBytes()
+		switch l.Type {
+		case Conv, DWConv, Deconv:
+			s.ConvLayers++
+		case FC:
+			s.FCLayers++
+		}
+		if l.TransitionSafe {
+			s.TransitionPts++
+		}
+	}
+	s.WeightMB = float64(weightBytes) / (1 << 20)
+	s.ActivationMB = float64(actBytes) / (1 << 20)
+	s.ParamsM = float64(weightBytes) / ElemBytes / 1e6
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: %d layers (%d conv, %d fc), %.2f GFLOPs, %.1fM params, %d transition points, %s -> %s",
+		s.Name, s.Layers, s.ConvLayers, s.FCLayers, s.GFLOPs, s.ParamsM, s.TransitionPts, s.Input, s.Output)
+}
+
+// WriteJSON serializes the network's layer list (names, types, shapes,
+// per-layer GFLOPs) as JSON for external tooling.
+func WriteJSON(w io.Writer, n *Network) error {
+	type layerJSON struct {
+		Name           string  `json:"name"`
+		Type           string  `json:"type"`
+		In             string  `json:"in"`
+		Out            string  `json:"out"`
+		Kernel         int     `json:"kernel,omitempty"`
+		Stride         int     `json:"stride,omitempty"`
+		GFLOPs         float64 `json:"gflops"`
+		TransitionSafe bool    `json:"transition_safe,omitempty"`
+	}
+	out := struct {
+		Summary Summary     `json:"summary"`
+		Layers  []layerJSON `json:"layers"`
+	}{Summary: Summarize(n)}
+	for _, l := range n.Layers {
+		out.Layers = append(out.Layers, layerJSON{
+			Name: l.Name, Type: l.Type.String(),
+			In: l.In.String(), Out: l.Out.String(),
+			Kernel: l.Kernel, Stride: l.Stride,
+			GFLOPs:         l.FLOPs() / 1e9,
+			TransitionSafe: l.TransitionSafe,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteDot renders the network's layer-group structure as a Graphviz
+// digraph: one node per group (with aggregate cost), transition-safe
+// boundaries drawn as bold edges.
+func WriteDot(w io.Writer, n *Network, maxGroups int) error {
+	groups := Groups(n, maxGroups)
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", n.Name)
+	for _, g := range groups {
+		fmt.Fprintf(&b, "  g%d [label=\"%s\\nlayers %d-%d\\n%.2f GFLOPs\\nout %.0f KB\"];\n",
+			g.Index, dominantType(g), g.Start, g.End, g.FLOPs()/1e9, float64(g.OutputBytes())/1024)
+	}
+	for i := 1; i < len(groups); i++ {
+		fmt.Fprintf(&b, "  g%d -> g%d [style=bold];\n", i-1, i)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dominantType returns the operator type contributing the most FLOPs to a
+// group, for labeling.
+func dominantType(g Group) string {
+	flops := map[LayerType]float64{}
+	for _, l := range g.Layers() {
+		flops[l.Type] += l.FLOPs()
+	}
+	best, bestF := Input, -1.0
+	for t, f := range flops {
+		if f > bestF {
+			best, bestF = t, f
+		}
+	}
+	return best.String()
+}

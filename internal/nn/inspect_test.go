@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(MustByName("VGG19"))
+	if s.Name != "VGG19" || s.ConvLayers != 16 || s.FCLayers != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.GFLOPs < 30 || s.GFLOPs > 50 {
+		t.Errorf("VGG19 GFLOPs = %.1f", s.GFLOPs)
+	}
+	if s.ParamsM < 120 || s.ParamsM > 170 {
+		t.Errorf("VGG19 params = %.1fM, want ~144M", s.ParamsM)
+	}
+	if s.Input != "224x224x3" || s.Output != "1x1x1000" {
+		t.Errorf("shapes %s -> %s", s.Input, s.Output)
+	}
+	if !strings.Contains(s.String(), "VGG19") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, MustByName("AlexNet")); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Summary Summary `json:"summary"`
+		Layers  []struct {
+			Name string `json:"name"`
+			Type string `json:"type"`
+		} `json:"layers"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Name != "AlexNet" {
+		t.Errorf("summary name %q", out.Summary.Name)
+	}
+	if len(out.Layers) != len(MustByName("AlexNet").Layers) {
+		t.Errorf("layers %d", len(out.Layers))
+	}
+	if out.Layers[0].Type != "Input" {
+		t.Errorf("first layer type %q", out.Layers[0].Type)
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, MustByName("GoogleNet"), 10); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("not a digraph:\n%s", dot)
+	}
+	if strings.Count(dot, "g0 ") < 1 {
+		t.Error("missing first group node")
+	}
+	// One node per group.
+	groups := Groups(MustByName("GoogleNet"), 10)
+	if got := strings.Count(dot, "[label="); got != len(groups) {
+		t.Errorf("%d labeled nodes for %d groups", got, len(groups))
+	}
+}
+
+func TestDominantType(t *testing.T) {
+	n := MustByName("VGG19")
+	groups := Groups(n, 8)
+	if d := dominantType(groups[0]); d != "Conv" {
+		t.Errorf("first VGG group dominated by %s, want Conv", d)
+	}
+	last := groups[len(groups)-1]
+	if d := dominantType(last); d != "FC" {
+		t.Errorf("last VGG group dominated by %s, want FC", d)
+	}
+}

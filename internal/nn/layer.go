@@ -1,0 +1,205 @@
+// Package nn provides a framework-independent, layer-level representation of
+// deep neural networks for inference scheduling.
+//
+// The scheduler in this repository (like HaX-CoNN on top of TensorRT/SNPE)
+// never executes a network numerically; it reasons about per-layer compute
+// (FLOPs), memory traffic (bytes) and legal inter-accelerator transition
+// points. A Network is therefore a topologically ordered list of Layers with
+// exact tensor shapes, from which compute and traffic are derived.
+//
+// Branching structures (inception modules, residual blocks, dense blocks) are
+// flattened into the layer list; the builders mark the module boundaries as
+// the only transition-safe cut points, which matches how an execution engine
+// with operator fusion would constrain inter-accelerator switches.
+package nn
+
+import "fmt"
+
+// Dims describes a feature-map shape: height, width, channels.
+type Dims struct {
+	H, W, C int
+}
+
+// Elems returns the number of scalar elements in the tensor.
+func (d Dims) Elems() int64 { return int64(d.H) * int64(d.W) * int64(d.C) }
+
+// String renders the dims as HxWxC.
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.H, d.W, d.C) }
+
+// Valid reports whether all dimensions are positive.
+func (d Dims) Valid() bool { return d.H > 0 && d.W > 0 && d.C > 0 }
+
+// LayerType enumerates the operator types used by the model zoo.
+type LayerType int
+
+// Operator types. The set covers every operator appearing in the evaluated
+// networks (classification CNNs plus the FCN segmentation head).
+const (
+	Input LayerType = iota
+	Conv
+	DWConv // depthwise convolution (MobileNet)
+	FC
+	MaxPool
+	AvgPool
+	GlobalAvgPool
+	ReLU
+	BatchNorm
+	LRN
+	Concat
+	Add
+	Dropout
+	Softmax
+	Deconv // transposed convolution (FCN upsampling head)
+)
+
+var layerTypeNames = map[LayerType]string{
+	Input:         "Input",
+	Conv:          "Conv",
+	DWConv:        "DWConv",
+	FC:            "FC",
+	MaxPool:       "MaxPool",
+	AvgPool:       "AvgPool",
+	GlobalAvgPool: "GlobalAvgPool",
+	ReLU:          "ReLU",
+	BatchNorm:     "BatchNorm",
+	LRN:           "LRN",
+	Concat:        "Concat",
+	Add:           "Add",
+	Dropout:       "Dropout",
+	Softmax:       "Softmax",
+	Deconv:        "Deconv",
+}
+
+// String returns the operator name.
+func (t LayerType) String() string {
+	if s, ok := layerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// ElemBytes is the tensor element size. Inference engines on the evaluated
+// SoCs run fp16, so every byte count in the repository assumes 2-byte scalars.
+const ElemBytes = 2
+
+// Layer is one operator instance with concrete shapes.
+//
+// TransitionSafe marks layers after which the builders allow an
+// inter-accelerator transition (Sec. 3.1 of the paper): module boundaries,
+// pooling outputs and similar points where switching does not break operator
+// fusion or an accelerator's internal pipeline.
+type Layer struct {
+	Name           string
+	Type           LayerType
+	In             Dims
+	Out            Dims
+	Kernel         int // spatial kernel size (Conv/Pool/Deconv), 0 otherwise
+	Stride         int
+	TransitionSafe bool
+}
+
+// FLOPs returns the floating-point operations of the layer (multiply and add
+// counted separately, the usual 2*MACs convention).
+func (l Layer) FLOPs() float64 {
+	out := float64(l.Out.Elems())
+	switch l.Type {
+	case Conv, Deconv:
+		return 2 * out * float64(l.Kernel*l.Kernel) * float64(l.In.C)
+	case DWConv:
+		return 2 * out * float64(l.Kernel*l.Kernel)
+	case FC:
+		return 2 * float64(l.In.Elems()) * float64(l.Out.Elems())
+	case MaxPool, AvgPool:
+		return out * float64(l.Kernel*l.Kernel)
+	case GlobalAvgPool:
+		return float64(l.In.Elems())
+	case ReLU, Dropout:
+		return out
+	case BatchNorm:
+		return 2 * out
+	case LRN:
+		return 10 * out // cross-channel normalization window
+	case Concat, Input:
+		return 0
+	case Add:
+		return out
+	case Softmax:
+		return 5 * out
+	}
+	return 0
+}
+
+// WeightBytes returns the parameter footprint of the layer in bytes.
+func (l Layer) WeightBytes() int64 {
+	switch l.Type {
+	case Conv, Deconv:
+		return int64(l.Kernel*l.Kernel) * int64(l.In.C) * int64(l.Out.C) * ElemBytes
+	case DWConv:
+		return int64(l.Kernel*l.Kernel) * int64(l.In.C) * ElemBytes
+	case FC:
+		return l.In.Elems() * l.Out.Elems() * ElemBytes
+	case BatchNorm:
+		return 2 * int64(l.In.C) * ElemBytes
+	}
+	return 0
+}
+
+// InputBytes returns the activation input footprint in bytes.
+func (l Layer) InputBytes() int64 { return l.In.Elems() * ElemBytes }
+
+// OutputBytes returns the activation output footprint in bytes.
+func (l Layer) OutputBytes() int64 { return l.Out.Elems() * ElemBytes }
+
+// Network is a topologically ordered sequence of layers with a name.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// FLOPs returns the total floating point operations of the network.
+func (n *Network) FLOPs() float64 {
+	var sum float64
+	for _, l := range n.Layers {
+		sum += l.FLOPs()
+	}
+	return sum
+}
+
+// WeightBytes returns the total parameter footprint in bytes.
+func (n *Network) WeightBytes() int64 {
+	var sum int64
+	for _, l := range n.Layers {
+		sum += l.WeightBytes()
+	}
+	return sum
+}
+
+// Validate checks structural consistency: non-empty, valid dims, and
+// input/output chaining for shape-preserving operators.
+func (n *Network) Validate() error {
+	if n.Name == "" {
+		return fmt.Errorf("nn: network has empty name")
+	}
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("nn: network %s has no layers", n.Name)
+	}
+	for i, l := range n.Layers {
+		if !l.In.Valid() || !l.Out.Valid() {
+			return fmt.Errorf("nn: %s layer %d (%s) has invalid dims in=%v out=%v", n.Name, i, l.Name, l.In, l.Out)
+		}
+		switch l.Type {
+		case ReLU, BatchNorm, LRN, Dropout, Softmax, Add:
+			if l.In != l.Out {
+				return fmt.Errorf("nn: %s layer %d (%s %s) must preserve shape: in=%v out=%v", n.Name, i, l.Name, l.Type, l.In, l.Out)
+			}
+		case Conv, DWConv, Deconv, MaxPool, AvgPool:
+			if l.Kernel <= 0 || l.Stride <= 0 {
+				return fmt.Errorf("nn: %s layer %d (%s %s) needs kernel/stride: k=%d s=%d", n.Name, i, l.Name, l.Type, l.Kernel, l.Stride)
+			}
+		}
+	}
+	if n.Layers[len(n.Layers)-1].TransitionSafe == false {
+		return fmt.Errorf("nn: %s last layer must be transition safe", n.Name)
+	}
+	return nil
+}

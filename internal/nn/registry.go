@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// zoo maps canonical network names to constructors. Construction is cached:
+// networks are immutable once built and callers share them.
+var zoo = map[string]func() *Network{
+	"AlexNet":      AlexNet,
+	"CaffeNet":     CaffeNet,
+	"DenseNet":     DenseNet,
+	"GoogleNet":    GoogleNet,
+	"Inc-res-v2":   IncResV2,
+	"Inception":    Inception,
+	"MobileNet":    MobileNet,
+	"ResNet18":     ResNet18,
+	"ResNet34":     ResNet34,
+	"ResNet50":     ResNet50,
+	"ResNet101":    ResNet101,
+	"ResNet152":    ResNet152,
+	"SqueezeNet":   SqueezeNet,
+	"MobileNetV2":  MobileNetV2,
+	"VGG13":        VGG13,
+	"VGG16":        VGG16,
+	"VGG19":        VGG19,
+	"FCN-ResNet18": FCNResNet18,
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Network{}
+)
+
+// ByName returns the named network from the zoo, or an error listing valid
+// names. Returned networks are shared and must not be mutated.
+func ByName(name string) (*Network, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if n, ok := cache[name]; ok {
+		return n, nil
+	}
+	ctor, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("nn: unknown network %q (known: %v)", name, Names())
+	}
+	n := ctor()
+	cache[name] = n
+	return n, nil
+}
+
+// MustByName is ByName for static names; it panics on unknown names.
+func MustByName(name string) *Network {
+	n, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Names returns the sorted list of zoo network names.
+func Names() []string {
+	names := make([]string, 0, len(zoo))
+	for name := range zoo {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EvaluationSet returns the ten networks used in the paper's pairwise
+// evaluation (Tables 5 and 8), in the paper's row order.
+func EvaluationSet() []*Network {
+	names := []string{
+		"CaffeNet", "DenseNet", "GoogleNet", "Inc-res-v2", "Inception",
+		"ResNet18", "ResNet50", "ResNet101", "ResNet152", "VGG19",
+	}
+	nets := make([]*Network, len(names))
+	for i, name := range names {
+		nets[i] = MustByName(name)
+	}
+	return nets
+}

@@ -1,0 +1,109 @@
+package nn
+
+// Classic single-chain CNNs: AlexNet, CaffeNet, VGG-16 and VGG-19.
+//
+// AlexNet/CaffeNet use the 227x227 crop (valid 11x11/4 stem); the VGGs use
+// 224x224. Transition-safe points follow pooling layers — the points where
+// the activation tensor is smallest and an engine flushes its pipeline —
+// plus the FC head boundaries.
+
+// AlexNet builds the single-stream AlexNet (Krizhevsky et al., 2012).
+func AlexNet() *Network {
+	b := newBuilder("AlexNet", Dims{227, 227, 3})
+	b.conv("conv1", 96, 11, 4, 0, false, true)
+	b.lrn("norm1")
+	b.maxpool("pool1", 3, 2, 0)
+	b.cut()
+	b.conv("conv2", 256, 5, 1, 2, false, true)
+	b.lrn("norm2")
+	b.maxpool("pool2", 3, 2, 0)
+	b.cut()
+	b.conv("conv3", 384, 3, 1, 1, false, true)
+	b.conv("conv4", 384, 3, 1, 1, false, true)
+	b.conv("conv5", 256, 3, 1, 1, false, true)
+	b.maxpool("pool5", 3, 2, 0)
+	b.cut()
+	b.fc("fc6", 4096, true)
+	b.dropout("drop6")
+	b.cut()
+	b.fc("fc7", 4096, true)
+	b.dropout("drop7")
+	b.cut()
+	b.fc("fc8", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}
+
+// CaffeNet builds the BVLC CaffeNet reference model, the AlexNet variant
+// with pooling before normalization (identical arithmetic footprint per
+// layer, slightly different normalization placement).
+func CaffeNet() *Network {
+	b := newBuilder("CaffeNet", Dims{227, 227, 3})
+	b.conv("conv1", 96, 11, 4, 0, false, true)
+	b.maxpool("pool1", 3, 2, 0)
+	b.lrn("norm1")
+	b.cut()
+	b.conv("conv2", 256, 5, 1, 2, false, true)
+	b.maxpool("pool2", 3, 2, 0)
+	b.lrn("norm2")
+	b.cut()
+	b.conv("conv3", 384, 3, 1, 1, false, true)
+	b.conv("conv4", 384, 3, 1, 1, false, true)
+	b.conv("conv5", 256, 3, 1, 1, false, true)
+	b.maxpool("pool5", 3, 2, 0)
+	b.cut()
+	b.fc("fc6", 4096, true)
+	b.dropout("drop6")
+	b.cut()
+	b.fc("fc7", 4096, true)
+	b.dropout("drop7")
+	b.cut()
+	b.fc("fc8", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}
+
+// vgg builds a VGG with the given per-stage conv counts.
+func vgg(name string, stages [5]int) *Network {
+	b := newBuilder(name, Dims{224, 224, 3})
+	channels := [5]int{64, 128, 256, 512, 512}
+	for s := 0; s < 5; s++ {
+		for c := 0; c < stages[s]; c++ {
+			b.conv(convName(s+1, c+1), channels[s], 3, 1, 1, false, true)
+		}
+		b.maxpool(poolName(s+1), 2, 2, 0)
+		b.cut()
+	}
+	b.fc("fc6", 4096, true)
+	b.dropout("drop6")
+	b.cut()
+	b.fc("fc7", 4096, true)
+	b.dropout("drop7")
+	b.cut()
+	b.fc("fc8", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}
+
+func convName(stage, idx int) string { return "conv" + itoa(stage) + "_" + itoa(idx) }
+func poolName(stage int) string      { return "pool" + itoa(stage) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}
+
+// VGG16 builds VGG-16 (Simonyan & Zisserman, configuration D).
+func VGG16() *Network { return vgg("VGG16", [5]int{2, 2, 3, 3, 3}) }
+
+// VGG19 builds VGG-19 (Simonyan & Zisserman, configuration E).
+func VGG19() *Network { return vgg("VGG19", [5]int{2, 2, 4, 4, 4}) }

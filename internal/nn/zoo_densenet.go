@@ -1,0 +1,47 @@
+package nn
+
+// DenseNet-121 (Huang et al., 2017): four dense blocks of [6,12,24,16]
+// BN-ReLU-Conv(1x1,128)-BN-ReLU-Conv(3x3,32) layers, each concatenating its
+// 32-channel output onto the running feature map, separated by
+// 1x1-conv + 2x2-avgpool transition layers that halve the channel count.
+
+func (b *builder) denseLayer(name string, growth int) {
+	in := b.cur
+	b.conv(name+"_bottleneck", 4*growth, 1, 1, 0, true, true)
+	b.conv(name+"_conv", growth, 3, 1, 1, true, true)
+	b.concat(name+"_concat", in, in.C+growth)
+}
+
+func (b *builder) denseTransition(name string) {
+	b.conv(name+"_conv", b.cur.C/2, 1, 1, 0, true, true)
+	b.avgpool(name+"_pool", 2, 2, 0)
+	b.cut()
+}
+
+// DenseNet builds DenseNet-121.
+func DenseNet() *Network {
+	const growth = 32
+	b := newBuilder("DenseNet", Dims{224, 224, 3})
+	b.conv("conv1", 64, 7, 2, 3, true, true)
+	b.maxpool("pool1", 3, 2, 1)
+	b.cut()
+	blocks := [4]int{6, 12, 24, 16}
+	for blk := 0; blk < 4; blk++ {
+		for l := 0; l < blocks[blk]; l++ {
+			b.denseLayer("dense"+itoa(blk+1)+"_"+itoa(l+1), growth)
+			// Allow transitions every few dense layers: the concat output is
+			// materialized in shared memory anyway.
+			if l%4 == 3 {
+				b.cut()
+			}
+		}
+		if blk < 3 {
+			b.denseTransition("trans" + itoa(blk+1))
+		}
+	}
+	b.globalpool("pool5")
+	b.cut()
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}

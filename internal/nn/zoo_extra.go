@@ -1,0 +1,100 @@
+package nn
+
+// Additional networks beyond the paper's evaluation set, useful for
+// library users benchmarking edge-inference schedulers: SqueezeNet-v1.1,
+// ResNet-34, MobileNet-v2 and VGG-13.
+
+// fire is a SqueezeNet fire module: a 1x1 squeeze followed by parallel
+// 1x1 and 3x3 expands concatenated together.
+func (b *builder) fire(name string, squeeze, expand int) {
+	b.conv(name+"_squeeze", squeeze, 1, 1, 0, false, true)
+	in := b.cur
+	b.conv(name+"_e1", expand, 1, 1, 0, false, true)
+	b.cur = in
+	b.conv(name+"_e3", expand, 3, 1, 1, false, true)
+	b.concat(name+"_cat", in, 2*expand)
+}
+
+// SqueezeNet builds SqueezeNet v1.1 (Iandola et al., 2016).
+func SqueezeNet() *Network {
+	b := newBuilder("SqueezeNet", Dims{227, 227, 3})
+	b.conv("conv1", 64, 3, 2, 0, false, true)
+	b.maxpool("pool1", 3, 2, 0)
+	b.cut()
+	b.fire("fire2", 16, 64)
+	b.fire("fire3", 16, 64)
+	b.maxpool("pool3", 3, 2, 0)
+	b.cut()
+	b.fire("fire4", 32, 128)
+	b.fire("fire5", 32, 128)
+	b.maxpool("pool5", 3, 2, 0)
+	b.cut()
+	b.fire("fire6", 48, 192)
+	b.fire("fire7", 48, 192)
+	b.cut()
+	b.fire("fire8", 64, 256)
+	b.fire("fire9", 64, 256)
+	b.cut()
+	b.dropout("drop9")
+	b.conv("conv10", 1000, 1, 1, 0, false, true)
+	b.globalpool("pool10")
+	b.softmax("prob")
+	return b.build()
+}
+
+// ResNet34 builds ResNet-34 (basic blocks, [3,4,6,3]).
+func ResNet34() *Network { return resnetBasic("ResNet34", [4]int{3, 4, 6, 3}) }
+
+// VGG13 builds VGG-13 (Simonyan & Zisserman, configuration B).
+func VGG13() *Network { return vgg("VGG13", [5]int{2, 2, 2, 2, 2}) }
+
+// invertedResidual is a MobileNet-v2 bottleneck: 1x1 expand, 3x3
+// depthwise, 1x1 linear project, with a residual add when shapes match.
+func (b *builder) invertedResidual(name string, outC, stride, expansion int) {
+	in := b.cur
+	hidden := in.C * expansion
+	if expansion != 1 {
+		b.conv(name+"_expand", hidden, 1, 1, 0, true, true)
+	}
+	b.dwconv(name+"_dw", 3, stride, 1)
+	b.conv(name+"_project", outC, 1, 1, 0, true, false)
+	if stride == 1 && in.C == outC {
+		b.addResidual(name + "_add")
+	}
+}
+
+// MobileNetV2 builds MobileNet-v2 at width multiplier 1.0 (Sandler et
+// al., 2018): seven inverted-residual stages.
+func MobileNetV2() *Network {
+	b := newBuilder("MobileNetV2", Dims{224, 224, 3})
+	b.conv("conv1", 32, 3, 2, 1, true, true)
+	b.cut()
+	b.invertedResidual("ir1_1", 16, 1, 1)
+	b.cut()
+	stages := []struct {
+		c, n, stride, expand int
+	}{
+		{24, 2, 2, 6},
+		{32, 3, 2, 6},
+		{64, 4, 2, 6},
+		{96, 3, 1, 6},
+		{160, 3, 2, 6},
+		{320, 1, 1, 6},
+	}
+	for si, st := range stages {
+		for i := 0; i < st.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = st.stride
+			}
+			b.invertedResidual("ir"+itoa(si+2)+"_"+itoa(i+1), st.c, stride, st.expand)
+		}
+		b.cut()
+	}
+	b.conv("conv_last", 1280, 1, 1, 0, true, true)
+	b.globalpool("pool")
+	b.cut()
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}

@@ -1,0 +1,67 @@
+package nn
+
+// GoogleNet (Inception-v1, Szegedy et al., 2015). Inception modules are
+// flattened branch-by-branch; the concat closing a module is the only
+// transition-safe point inside it, mirroring how fused engine graphs only
+// permit accelerator switches at module boundaries.
+
+// inceptionChannels holds the branch widths of one inception module:
+// 1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj.
+type inceptionChannels struct {
+	c1, c3r, c3, c5r, c5, pp int
+}
+
+func (ic inceptionChannels) out() int { return ic.c1 + ic.c3 + ic.c5 + ic.pp }
+
+func (b *builder) inception(name string, ic inceptionChannels) {
+	in := b.cur
+	// branch 1: 1x1
+	b.conv(name+"_1x1", ic.c1, 1, 1, 0, false, true)
+	// branch 2: 1x1 reduce -> 3x3
+	b.cur = in
+	b.conv(name+"_3x3r", ic.c3r, 1, 1, 0, false, true)
+	b.conv(name+"_3x3", ic.c3, 3, 1, 1, false, true)
+	// branch 3: 1x1 reduce -> 5x5
+	b.cur = in
+	b.conv(name+"_5x5r", ic.c5r, 1, 1, 0, false, true)
+	b.conv(name+"_5x5", ic.c5, 5, 1, 2, false, true)
+	// branch 4: pool -> 1x1 proj
+	b.cur = in
+	b.maxpool(name+"_pool", 3, 1, 1)
+	b.conv(name+"_proj", ic.pp, 1, 1, 0, false, true)
+	b.concat(name+"_concat", in, ic.out())
+	b.cut()
+}
+
+// GoogleNet builds Inception-v1 with its nine inception modules.
+func GoogleNet() *Network {
+	b := newBuilder("GoogleNet", Dims{224, 224, 3})
+	b.conv("conv1", 64, 7, 2, 3, false, true)
+	b.maxpool("pool1", 3, 2, 1)
+	b.lrn("norm1")
+	b.cut()
+	b.conv("conv2r", 64, 1, 1, 0, false, true)
+	b.conv("conv2", 192, 3, 1, 1, false, true)
+	b.lrn("norm2")
+	b.maxpool("pool2", 3, 2, 1)
+	b.cut()
+	b.inception("3a", inceptionChannels{64, 96, 128, 16, 32, 32})
+	b.inception("3b", inceptionChannels{128, 128, 192, 32, 96, 64})
+	b.maxpool("pool3", 3, 2, 1)
+	b.cut()
+	b.inception("4a", inceptionChannels{192, 96, 208, 16, 48, 64})
+	b.inception("4b", inceptionChannels{160, 112, 224, 24, 64, 64})
+	b.inception("4c", inceptionChannels{128, 128, 256, 24, 64, 64})
+	b.inception("4d", inceptionChannels{112, 144, 288, 32, 64, 64})
+	b.inception("4e", inceptionChannels{256, 160, 320, 32, 128, 128})
+	b.maxpool("pool4", 3, 2, 1)
+	b.cut()
+	b.inception("5a", inceptionChannels{256, 160, 320, 32, 128, 128})
+	b.inception("5b", inceptionChannels{384, 192, 384, 48, 128, 128})
+	b.globalpool("pool5")
+	b.cut()
+	b.dropout("drop")
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}

@@ -1,0 +1,209 @@
+package nn
+
+// Inception-v4 and Inception-ResNet-v2 (Szegedy et al., 2017). Asymmetric
+// 1x7/7x1 factorizations are approximated with square 3x3 convolutions of
+// comparable arithmetic cost; the scheduler consumes aggregate per-group
+// compute and traffic, which this preserves.
+
+func (b *builder) inceptionStem() {
+	b.conv("stem_conv1", 32, 3, 2, 0, true, true)
+	b.conv("stem_conv2", 32, 3, 1, 0, true, true)
+	b.conv("stem_conv3", 64, 3, 1, 1, true, true)
+	b.cut()
+	in := b.cur
+	b.maxpool("stem_pool1", 3, 2, 0)
+	pooled := b.cur
+	b.cur = in
+	b.conv("stem_conv4", 96, 3, 2, 0, true, true)
+	b.concat("stem_cat1", pooled, pooled.C+96)
+	b.cut()
+	in = b.cur
+	b.conv("stem_b1_1", 64, 1, 1, 0, true, true)
+	b.conv("stem_b1_2", 96, 3, 1, 0, true, true)
+	br1 := b.cur
+	b.cur = in
+	b.conv("stem_b2_1", 64, 1, 1, 0, true, true)
+	b.conv("stem_b2_2", 64, 3, 1, 1, true, true)
+	b.conv("stem_b2_3", 96, 3, 1, 0, true, true)
+	b.concat("stem_cat2", br1, 192)
+	b.cut()
+	in = b.cur
+	b.conv("stem_conv5", 192, 3, 2, 0, true, true)
+	conved := b.cur
+	b.cur = in
+	b.maxpool("stem_pool2", 3, 2, 0)
+	b.concat("stem_cat3", conved, 384)
+	b.cut()
+}
+
+func (b *builder) inceptionA(name string) {
+	in := b.cur
+	b.conv(name+"_b1", 96, 1, 1, 0, true, true)
+	b.cur = in
+	b.conv(name+"_b2_1", 64, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 96, 3, 1, 1, true, true)
+	b.cur = in
+	b.conv(name+"_b3_1", 64, 1, 1, 0, true, true)
+	b.conv(name+"_b3_2", 96, 3, 1, 1, true, true)
+	b.conv(name+"_b3_3", 96, 3, 1, 1, true, true)
+	b.cur = in
+	b.avgpool(name+"_pool", 3, 1, 1)
+	b.conv(name+"_b4", 96, 1, 1, 0, true, true)
+	b.concat(name+"_cat", in, 384)
+	b.cut()
+}
+
+func (b *builder) reductionA(name string, k, l, m, n int) {
+	in := b.cur
+	b.conv(name+"_b1", n, 3, 2, 0, true, true)
+	reduced := b.cur
+	b.cur = in
+	b.conv(name+"_b2_1", k, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", l, 3, 1, 1, true, true)
+	b.conv(name+"_b2_3", m, 3, 2, 0, true, true)
+	b.cur = in
+	b.maxpool(name+"_pool", 3, 2, 0)
+	b.concat(name+"_cat", reduced, in.C+n+m)
+	b.cut()
+}
+
+func (b *builder) inceptionB(name string) {
+	in := b.cur
+	b.conv(name+"_b1", 384, 1, 1, 0, true, true)
+	b.cur = in
+	b.conv(name+"_b2_1", 192, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 224, 3, 1, 1, true, true) // 1x7 approx
+	b.conv(name+"_b2_3", 256, 3, 1, 1, true, true) // 7x1 approx
+	b.cur = in
+	b.conv(name+"_b3_1", 192, 1, 1, 0, true, true)
+	b.conv(name+"_b3_2", 224, 3, 1, 1, true, true)
+	b.conv(name+"_b3_3", 256, 3, 1, 1, true, true)
+	b.cur = in
+	b.avgpool(name+"_pool", 3, 1, 1)
+	b.conv(name+"_b4", 128, 1, 1, 0, true, true)
+	b.concat(name+"_cat", in, 1024)
+	b.cut()
+}
+
+func (b *builder) reductionB(name string) {
+	in := b.cur
+	b.conv(name+"_b1_1", 192, 1, 1, 0, true, true)
+	b.conv(name+"_b1_2", 192, 3, 2, 0, true, true)
+	red := b.cur
+	b.cur = in
+	b.conv(name+"_b2_1", 256, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 320, 3, 1, 1, true, true)
+	b.conv(name+"_b2_3", 320, 3, 2, 0, true, true)
+	b.cur = in
+	b.maxpool(name+"_pool", 3, 2, 0)
+	b.concat(name+"_cat", red, in.C+192+320)
+	b.cut()
+}
+
+func (b *builder) inceptionC(name string) {
+	in := b.cur
+	b.conv(name+"_b1", 256, 1, 1, 0, true, true)
+	b.cur = in
+	b.conv(name+"_b2_1", 384, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 512, 3, 1, 1, true, true)
+	b.cur = in
+	b.conv(name+"_b3_1", 384, 1, 1, 0, true, true)
+	b.conv(name+"_b3_2", 448, 3, 1, 1, true, true)
+	b.conv(name+"_b3_3", 512, 3, 1, 1, true, true)
+	b.cur = in
+	b.avgpool(name+"_pool", 3, 1, 1)
+	b.conv(name+"_b4", 256, 1, 1, 0, true, true)
+	b.concat(name+"_cat", in, 1536)
+	b.cut()
+}
+
+// Inception builds Inception-v4.
+func Inception() *Network {
+	b := newBuilder("Inception", Dims{299, 299, 3})
+	b.inceptionStem()
+	for i := 0; i < 4; i++ {
+		b.inceptionA("a" + itoa(i+1))
+	}
+	b.reductionA("redA", 192, 224, 256, 384)
+	for i := 0; i < 7; i++ {
+		b.inceptionB("b" + itoa(i+1))
+	}
+	b.reductionB("redB")
+	for i := 0; i < 3; i++ {
+		b.inceptionC("c" + itoa(i+1))
+	}
+	b.globalpool("pool")
+	b.cut()
+	b.dropout("drop")
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}
+
+func (b *builder) resnetBlockA(name string) {
+	in := b.cur
+	b.conv(name+"_b1", 32, 1, 1, 0, true, true)
+	b.cur = in
+	b.conv(name+"_b2_1", 32, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 32, 3, 1, 1, true, true)
+	b.cur = in
+	b.conv(name+"_b3_1", 32, 1, 1, 0, true, true)
+	b.conv(name+"_b3_2", 48, 3, 1, 1, true, true)
+	b.conv(name+"_b3_3", 64, 3, 1, 1, true, true)
+	b.concat(name+"_cat", in, 128)
+	b.conv(name+"_proj", in.C, 1, 1, 0, false, false)
+	b.addResidual(name + "_add")
+	b.cut()
+}
+
+func (b *builder) resnetBlockB(name string) {
+	in := b.cur
+	b.conv(name+"_b1", 192, 1, 1, 0, true, true)
+	b.cur = in
+	b.conv(name+"_b2_1", 128, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 160, 3, 1, 1, true, true)
+	b.conv(name+"_b2_3", 192, 3, 1, 1, true, true)
+	b.concat(name+"_cat", in, 384)
+	b.conv(name+"_proj", in.C, 1, 1, 0, false, false)
+	b.addResidual(name + "_add")
+	b.cut()
+}
+
+func (b *builder) resnetBlockC(name string) {
+	in := b.cur
+	b.conv(name+"_b1", 192, 1, 1, 0, true, true)
+	b.cur = in
+	b.conv(name+"_b2_1", 192, 1, 1, 0, true, true)
+	b.conv(name+"_b2_2", 224, 3, 1, 1, true, true)
+	b.conv(name+"_b2_3", 256, 3, 1, 1, true, true)
+	b.concat(name+"_cat", in, 448)
+	b.conv(name+"_proj", in.C, 1, 1, 0, false, false)
+	b.addResidual(name + "_add")
+	b.cut()
+}
+
+// IncResV2 builds Inception-ResNet-v2, the deepest network in the
+// evaluation set (the paper reports 985 TensorRT layers; flattened here to
+// a few hundred scheduling-relevant operators).
+func IncResV2() *Network {
+	b := newBuilder("Inc-res-v2", Dims{299, 299, 3})
+	b.inceptionStem()
+	for i := 0; i < 5; i++ {
+		b.resnetBlockA("ira" + itoa(i+1))
+	}
+	b.reductionA("redA", 256, 256, 384, 384)
+	for i := 0; i < 10; i++ {
+		b.resnetBlockB("irb" + itoa(i+1))
+	}
+	b.reductionB("redB")
+	for i := 0; i < 5; i++ {
+		b.resnetBlockC("irc" + itoa(i+1))
+	}
+	b.conv("final_conv", 1536, 1, 1, 0, true, true)
+	b.globalpool("pool")
+	b.cut()
+	b.dropout("drop")
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}

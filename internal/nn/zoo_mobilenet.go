@@ -1,0 +1,36 @@
+package nn
+
+// MobileNet-v1 (Howard et al., 2017): depthwise-separable convolutions.
+// Used in the solver-overhead experiment (Table 7 of the paper).
+
+func (b *builder) dwsep(name string, outC, stride int) {
+	b.dwconv(name+"_dw", 3, stride, 1)
+	b.conv(name+"_pw", outC, 1, 1, 0, true, true)
+}
+
+// MobileNet builds MobileNet-v1 at width multiplier 1.0.
+func MobileNet() *Network {
+	b := newBuilder("MobileNet", Dims{224, 224, 3})
+	b.conv("conv1", 32, 3, 2, 1, true, true)
+	b.cut()
+	b.dwsep("sep1", 64, 1)
+	b.dwsep("sep2", 128, 2)
+	b.cut()
+	b.dwsep("sep3", 128, 1)
+	b.dwsep("sep4", 256, 2)
+	b.cut()
+	b.dwsep("sep5", 256, 1)
+	b.dwsep("sep6", 512, 2)
+	b.cut()
+	for i := 0; i < 5; i++ {
+		b.dwsep("sep7_"+itoa(i+1), 512, 1)
+	}
+	b.cut()
+	b.dwsep("sep8", 1024, 2)
+	b.dwsep("sep9", 1024, 1)
+	b.globalpool("pool")
+	b.cut()
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+	return b.build()
+}

@@ -1,0 +1,130 @@
+package nn
+
+// ResNet family (He et al., 2016) plus the FCN-ResNet18 segmentation
+// network. Residual blocks flatten to main-path layers followed by the
+// elementwise Add; transitions are legal only after a block's final
+// activation, where both paths have joined.
+
+func (b *builder) basicBlock(name string, outC, stride int) {
+	in := b.cur
+	b.conv(name+"_conv1", outC, 3, stride, 1, true, true)
+	b.conv(name+"_conv2", outC, 3, 1, 1, true, false)
+	if stride != 1 || in.C != outC {
+		save := b.cur
+		b.cur = in
+		b.conv(name+"_down", outC, 1, stride, 0, true, false)
+		b.cur = save
+	}
+	b.addResidual(name + "_add")
+	b.cut()
+}
+
+func (b *builder) bottleneckBlock(name string, midC, stride int) {
+	outC := midC * 4
+	in := b.cur
+	b.conv(name+"_conv1", midC, 1, 1, 0, true, true)
+	b.conv(name+"_conv2", midC, 3, stride, 1, true, true)
+	b.conv(name+"_conv3", outC, 1, 1, 0, true, false)
+	if stride != 1 || in.C != outC {
+		save := b.cur
+		b.cur = in
+		b.conv(name+"_down", outC, 1, stride, 0, true, false)
+		b.cur = save
+	}
+	b.addResidual(name + "_add")
+	b.cut()
+}
+
+func resnetStem(b *builder) {
+	b.conv("conv1", 64, 7, 2, 3, true, true)
+	b.maxpool("pool1", 3, 2, 1)
+	b.cut()
+}
+
+func resnetHead(b *builder) {
+	b.globalpool("pool5")
+	b.cut()
+	b.fc("fc", 1000, false)
+	b.softmax("prob")
+}
+
+// resnetBasic builds an 18/34-style ResNet with 2-conv basic blocks.
+func resnetBasic(name string, blocks [4]int) *Network {
+	b := newBuilder(name, Dims{224, 224, 3})
+	resnetStem(b)
+	channels := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			b.basicBlock(blockName(stage, blk), channels[stage], stride)
+		}
+	}
+	resnetHead(b)
+	return b.build()
+}
+
+// resnetBottleneck builds a 50/101/152-style ResNet with bottleneck blocks.
+func resnetBottleneck(name string, blocks [4]int) *Network {
+	b := newBuilder(name, Dims{224, 224, 3})
+	resnetStem(b)
+	mids := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			b.bottleneckBlock(blockName(stage, blk), mids[stage], stride)
+		}
+	}
+	resnetHead(b)
+	return b.build()
+}
+
+func blockName(stage, blk int) string {
+	return "res" + itoa(stage+2) + string(rune('a'+blk%26)) + itoa(blk/26)
+}
+
+// ResNet18 builds ResNet-18.
+func ResNet18() *Network { return resnetBasic("ResNet18", [4]int{2, 2, 2, 2}) }
+
+// ResNet50 builds ResNet-50.
+func ResNet50() *Network { return resnetBottleneck("ResNet50", [4]int{3, 4, 6, 3}) }
+
+// ResNet101 builds ResNet-101.
+func ResNet101() *Network { return resnetBottleneck("ResNet101", [4]int{3, 4, 23, 3}) }
+
+// ResNet152 builds ResNet-152.
+func ResNet152() *Network { return resnetBottleneck("ResNet152", [4]int{3, 8, 36, 3}) }
+
+// FCNResNet18 builds a fully convolutional segmentation network with a
+// ResNet-18 backbone and a transposed-convolution upsampling head (21
+// classes, 512x256 input as used for driving scenes downscaled from
+// Cityscapes).
+func FCNResNet18() *Network {
+	b := newBuilder("FCN-ResNet18", Dims{256, 512, 3})
+	resnetStem(b)
+	channels := [4]int{64, 128, 256, 512}
+	blocks := [4]int{2, 2, 2, 2}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			b.basicBlock(blockName(stage, blk), channels[stage], stride)
+		}
+	}
+	b.conv("score", 21, 1, 1, 0, false, false)
+	b.cut()
+	b.deconv("up2", 21, 4, 2)
+	b.cut()
+	b.deconv("up4", 21, 4, 2)
+	b.cut()
+	b.deconv("up32", 21, 16, 8)
+	b.softmax("prob")
+	return b.build()
+}

@@ -1,0 +1,163 @@
+// Package perf predicts standalone execution characteristics of DNN layers
+// and layer groups on SoC accelerators: latency, DRAM traffic, demanded
+// memory throughput and inter-accelerator transition cost.
+//
+// It is the substitute for hardware profiling (TensorRT IProfiler + Nsight
+// Compute in the paper, Sec. 3.2): a roofline model over the accelerator
+// envelopes in package soc. Both the ground-truth simulator (internal/sim)
+// and the characterization tables consumed by the scheduler derive from it,
+// exactly as the paper derives both real execution and profiles from the
+// same silicon.
+package perf
+
+import (
+	"haxconn/internal/nn"
+	"haxconn/internal/soc"
+)
+
+// efficiency returns the fraction of the accelerator's peak compute a layer
+// achieves: a saturating curve in the layer's FLOPs, scaled by per-operator
+// factors (FC and depthwise convolutions map poorly onto fixed-function
+// conv pipelines).
+func efficiency(a soc.Accelerator, l nn.Layer) float64 {
+	f := l.FLOPs()
+	eff := a.EffMin + (a.EffMax-a.EffMin)*f/(f+a.EffHalfFLOPs)
+	switch l.Type {
+	case nn.FC:
+		eff *= a.FCFactor
+	case nn.DWConv:
+		eff *= a.DWFactor
+	case nn.Deconv:
+		eff *= 0.7 // scatter-style writes underutilize conv pipelines
+	}
+	return eff
+}
+
+// TrafficBytes returns the DRAM bytes a layer moves when run standalone:
+// input and output activations amplified by the accelerator's tiling
+// re-read factor, plus the streamed fraction of its weights (the rest is
+// served from on-chip buffers/caches across the engine's tiling schedule).
+func TrafficBytes(a soc.Accelerator, l nn.Layer) float64 {
+	switch l.Type {
+	case nn.ReLU, nn.BatchNorm, nn.LRN, nn.Dropout, nn.Softmax:
+		// Fused with the producing operator: the tensor never round-trips
+		// through DRAM (operator fusion, Sec. 3.1).
+		return 0
+	case nn.Concat:
+		// Zero-copy: branch outputs are written directly into place.
+		return 0
+	case nn.Add:
+		// The residual input is re-read; the sum is written in place.
+		return float64(l.InputBytes()) * a.TrafficAmp
+	}
+	return float64(l.InputBytes()+l.OutputBytes())*a.TrafficAmp + float64(l.WeightBytes())*a.WeightStream
+}
+
+// ComputeMs returns the compute-roof time of the layer in milliseconds.
+func ComputeMs(a soc.Accelerator, l nn.Layer) float64 {
+	eff := efficiency(a, l)
+	return l.FLOPs() / (a.PeakGFLOPS * 1e6 * eff)
+}
+
+// MemoryMs returns the memory-roof time of the layer in milliseconds.
+func MemoryMs(a soc.Accelerator, l nn.Layer) float64 {
+	return TrafficBytes(a, l) / (a.MaxBW * 1e6)
+}
+
+// LatencyMs returns the standalone latency of a layer on an accelerator:
+// the roofline maximum of its compute and memory times.
+func LatencyMs(a soc.Accelerator, l nn.Layer) float64 {
+	c, m := ComputeMs(a, l), MemoryMs(a, l)
+	if m > c {
+		return m
+	}
+	return c
+}
+
+// DemandGBps returns the memory throughput the layer requests while
+// running standalone (traffic over latency) — the processor-centric input
+// of the PCCS contention model.
+func DemandGBps(a soc.Accelerator, l nn.Layer) float64 {
+	lat := LatencyMs(a, l)
+	if lat <= 0 {
+		return 0
+	}
+	return TrafficBytes(a, l) / (lat * 1e6)
+}
+
+// MemIntensity returns the fraction of the layer's standalone latency
+// bound by memory (0..1): how much of it stretches under contention.
+func MemIntensity(a soc.Accelerator, l nn.Layer) float64 {
+	lat := LatencyMs(a, l)
+	if lat <= 0 {
+		return 0
+	}
+	mi := MemoryMs(a, l) / lat
+	if mi > 1 {
+		mi = 1
+	}
+	return mi
+}
+
+// GroupProfile aggregates the standalone characteristics of a layer group
+// on one accelerator. It is the unit record of the characterization tables
+// (Table 2 of the paper).
+type GroupProfile struct {
+	LatencyMs    float64 // sum of member layer latencies
+	TrafficBytes float64 // sum of member layer traffic
+	DemandGBps   float64 // traffic / latency
+	MemIntensity float64 // latency-weighted memory-bound fraction
+}
+
+// Group profiles a layer group on an accelerator.
+func Group(a soc.Accelerator, g nn.Group) GroupProfile {
+	var p GroupProfile
+	var memMs float64
+	for _, l := range g.Layers() {
+		lat := LatencyMs(a, l)
+		p.LatencyMs += lat
+		p.TrafficBytes += TrafficBytes(a, l)
+		memMs += lat * MemIntensity(a, l)
+	}
+	if p.LatencyMs > 0 {
+		p.DemandGBps = p.TrafficBytes / (p.LatencyMs * 1e6)
+		p.MemIntensity = memMs / p.LatencyMs
+	}
+	return p
+}
+
+// NetworkLatencyMs returns the standalone latency of an entire network on
+// one accelerator (Table 5).
+func NetworkLatencyMs(a soc.Accelerator, n *nn.Network) float64 {
+	var sum float64
+	for _, l := range n.Layers {
+		sum += LatencyMs(a, l)
+	}
+	return sum
+}
+
+// EMCUtilization returns the percentage of the platform's EMC bandwidth a
+// layer demands while running standalone on the accelerator (Fig. 3).
+func EMCUtilization(p *soc.Platform, a soc.Accelerator, l nn.Layer) float64 {
+	return 100 * DemandGBps(a, l) / p.EMCBandwidth
+}
+
+// TransitionOutMs returns the cost of flushing a group's output tensor out
+// of accelerator a into shared memory when execution transitions away
+// after the group (tau(L, a, OUT) in Eq. 2).
+func TransitionOutMs(a soc.Accelerator, outBytes int64) float64 {
+	return a.TransitionFixedMs + float64(outBytes)/(a.FlushGBps*1e6)
+}
+
+// TransitionInMs returns the cost of reformatting a tensor into
+// accelerator b's native layout when execution transitions into it
+// (tau(L, b, IN) in Eq. 2).
+func TransitionInMs(b soc.Accelerator, inBytes int64) float64 {
+	return b.TransitionFixedMs + float64(inBytes)/(b.ReformatGBps*1e6)
+}
+
+// TransitionMs returns the total cost of a transition after group g from
+// accelerator a to accelerator b.
+func TransitionMs(a, b soc.Accelerator, g nn.Group) float64 {
+	return TransitionOutMs(a, g.OutputBytes()) + TransitionInMs(b, g.OutputBytes())
+}

@@ -1,0 +1,238 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"haxconn/internal/nn"
+	"haxconn/internal/soc"
+)
+
+func TestLatencyPositive(t *testing.T) {
+	for _, p := range soc.Platforms() {
+		for _, a := range p.Accels {
+			for _, name := range nn.Names() {
+				n := nn.MustByName(name)
+				if lat := NetworkLatencyMs(a, n); lat <= 0 {
+					t.Errorf("%s/%s %s: latency %g", p.Name, a.Name, name, lat)
+				}
+			}
+		}
+	}
+}
+
+// Table 5 regime check: standalone runtimes must land within a factor of ~3
+// of the paper's measurements and, critically, preserve the orderings the
+// scheduler exploits.
+func TestTable5Regime(t *testing.T) {
+	type row struct {
+		net      string
+		gpu, dla float64 // paper values, ms
+	}
+	cases := map[string][]row{
+		"Orin": {
+			{"CaffeNet", 0.74, 1.79},
+			{"GoogleNet", 0.99, 1.52},
+			{"Inception", 2.49, 5.66},
+			{"ResNet18", 0.41, 0.74},
+			{"ResNet50", 0.91, 1.67},
+			{"ResNet101", 1.56, 2.47},
+			{"ResNet152", 2.19, 3.26},
+			{"VGG19", 1.07, 2.93},
+		},
+		"Xavier": {
+			{"CaffeNet", 2.26, 5.51},
+			{"GoogleNet", 1.98, 3.68},
+			{"Inception", 8.31, 15.94},
+			{"ResNet18", 1.37, 2.81},
+			{"ResNet50", 2.88, 6.01},
+			{"ResNet101", 5.34, 10.6},
+			{"ResNet152", 7.7, 12.71},
+			{"VGG19", 5.95, 19.05},
+		},
+	}
+	const factor = 3.2
+	for plat, rows := range cases {
+		p, _ := soc.PlatformByName(plat)
+		gpu, dla := p.GPU(), p.DSA()
+		for _, r := range rows {
+			n := nn.MustByName(r.net)
+			g := NetworkLatencyMs(gpu, n)
+			d := NetworkLatencyMs(dla, n)
+			if g < r.gpu/factor || g > r.gpu*factor {
+				t.Errorf("%s %s GPU: %.2f ms, paper %.2f (factor %.0f)", plat, r.net, g, r.gpu, factor)
+			}
+			if d < r.dla/factor || d > r.dla*factor {
+				t.Errorf("%s %s DLA: %.2f ms, paper %.2f (factor %.0f)", plat, r.net, d, r.dla, factor)
+			}
+			if d <= g {
+				t.Errorf("%s %s: DLA (%.2f) should be slower than GPU (%.2f)", plat, r.net, d, g)
+			}
+		}
+	}
+}
+
+// The DLA/GPU ratio must vary across GoogleNet's layer groups (Table 2
+// shows 1.40x..2.02x) — without that spread, layer-level mapping has no
+// signal to exploit.
+func TestDtoGRatioVaries(t *testing.T) {
+	p := soc.Orin()
+	gpu, dla := p.GPU(), p.DSA()
+	groups := nn.Groups(nn.MustByName("GoogleNet"), nn.DefaultMaxGroups)
+	minR, maxR := 1e9, 0.0
+	for _, g := range groups {
+		r := Group(dla, g).LatencyMs / Group(gpu, g).LatencyMs
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR/minR < 1.15 {
+		t.Errorf("D/G ratio spread too small: min %.2f max %.2f", minR, maxR)
+	}
+	if minR < 1.0 {
+		t.Errorf("DLA faster than GPU on some GoogleNet group (ratio %.2f)", minR)
+	}
+	if maxR > 4.0 {
+		t.Errorf("D/G ratio %.2f implausibly high", maxR)
+	}
+}
+
+// Fig. 3 shape: EMC utilization grows with input size and shrinks with
+// filter size (arithmetic intensity), and GPU/DLA utilizations correlate.
+func TestFig3Shape(t *testing.T) {
+	p := soc.Orin()
+	gpu, dla := p.GPU(), p.DSA()
+	inputs := []nn.Dims{
+		{H: 224, W: 224, C: 64}, {H: 224, W: 112, C: 64}, {H: 112, W: 112, C: 64},
+		{H: 112, W: 56, C: 64}, {H: 56, W: 56, C: 64},
+	}
+	mk := func(in nn.Dims, k int) nn.Layer {
+		return nn.Layer{Type: nn.Conv, In: in, Out: nn.Dims{H: in.H, W: in.W, C: 64}, Kernel: k, Stride: 1}
+	}
+	// Larger filter => lower utilization, for a fixed input.
+	for _, in := range inputs {
+		u1 := EMCUtilization(p, gpu, mk(in, 1))
+		u5 := EMCUtilization(p, gpu, mk(in, 5))
+		if u5 >= u1 {
+			t.Errorf("input %v: util(f5)=%.1f >= util(f1)=%.1f", in, u5, u1)
+		}
+	}
+	// Larger input => higher or equal utilization, for a fixed filter.
+	for k := 1; k <= 5; k++ {
+		big := EMCUtilization(p, gpu, mk(inputs[0], k))
+		small := EMCUtilization(p, gpu, mk(inputs[4], k))
+		if big < small*0.8 {
+			t.Errorf("filter %d: util(big)=%.1f much below util(small)=%.1f", k, big, small)
+		}
+	}
+	// GPU and DLA utilizations are correlated (paper estimates DLA demand
+	// from the GPU/DLA EMC ratio).
+	for _, in := range inputs {
+		for k := 1; k <= 5; k++ {
+			ug := EMCUtilization(p, gpu, mk(in, k))
+			ud := EMCUtilization(p, dla, mk(in, k))
+			if ug <= 0 || ud <= 0 {
+				t.Fatalf("non-positive utilization in=%v k=%d", in, k)
+			}
+			if r := ug / ud; r < 0.2 || r > 8 {
+				t.Errorf("in=%v k=%d: GPU/DLA util ratio %.2f out of band", in, k, r)
+			}
+		}
+	}
+}
+
+func TestDemandNeverExceedsAccelBW(t *testing.T) {
+	for _, p := range soc.Platforms() {
+		for _, a := range p.Accels {
+			for _, name := range nn.Names() {
+				for _, l := range nn.MustByName(name).Layers {
+					if d := DemandGBps(a, l); d > a.MaxBW*1.0001 {
+						t.Fatalf("%s/%s %s %s: demand %.1f exceeds accel BW %.1f",
+							p.Name, a.Name, name, l.Name, d, a.MaxBW)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMemIntensityRange(t *testing.T) {
+	p := soc.Orin()
+	for _, a := range p.Accels {
+		for _, l := range nn.MustByName("GoogleNet").Layers {
+			mi := MemIntensity(a, l)
+			if mi < 0 || mi > 1 {
+				t.Fatalf("%s %s: intensity %g out of [0,1]", a.Name, l.Name, mi)
+			}
+		}
+	}
+}
+
+func TestGroupProfileConsistency(t *testing.T) {
+	p := soc.Orin()
+	a := p.GPU()
+	for _, g := range nn.Groups(nn.MustByName("ResNet50"), nn.DefaultMaxGroups) {
+		gp := Group(a, g)
+		var lat, traffic float64
+		for _, l := range g.Layers() {
+			lat += LatencyMs(a, l)
+			traffic += TrafficBytes(a, l)
+		}
+		if !near(gp.LatencyMs, lat, 1e-9) || !near(gp.TrafficBytes, traffic, 1e-6) {
+			t.Errorf("group %v: profile disagrees with layer sums", g)
+		}
+		if gp.MemIntensity < 0 || gp.MemIntensity > 1 {
+			t.Errorf("group %v: intensity %g", g, gp.MemIntensity)
+		}
+	}
+}
+
+func TestTransitionCosts(t *testing.T) {
+	p := soc.Orin()
+	gpu, dla := p.GPU(), p.DSA()
+	groups := nn.Groups(nn.MustByName("GoogleNet"), nn.DefaultMaxGroups)
+	for _, g := range groups {
+		gd := TransitionMs(gpu, dla, g)
+		dg := TransitionMs(dla, gpu, g)
+		if gd <= 0 || dg <= 0 {
+			t.Fatalf("group %v: non-positive transition cost", g)
+		}
+		// Table 2 regime: transitions are small fractions of a millisecond.
+		if gd > 2 || dg > 2 {
+			t.Errorf("group %v: transition cost too large (G->D %.3f, D->G %.3f)", g, gd, dg)
+		}
+	}
+	// Smaller tensors transition faster (paper: costs shrink toward the end).
+	first, last := groups[0], groups[len(groups)-1]
+	if first.OutputBytes() > last.OutputBytes() {
+		if TransitionMs(gpu, dla, first) <= TransitionMs(gpu, dla, last) {
+			t.Error("larger crossing tensor should cost more")
+		}
+	}
+}
+
+// Property: latency is the max of compute and memory components.
+func TestRooflineProperty(t *testing.T) {
+	a := soc.Orin().GPU()
+	f := func(h, w, c, k uint8) bool {
+		in := nn.Dims{H: int(h)%128 + 1, W: int(w)%128 + 1, C: int(c)%256 + 1}
+		l := nn.Layer{Type: nn.Conv, In: in, Out: nn.Dims{H: in.H, W: in.W, C: 64}, Kernel: int(k)%5 + 1, Stride: 1}
+		lat := LatencyMs(a, l)
+		return lat >= ComputeMs(a, l) && lat >= MemoryMs(a, l) &&
+			(lat == ComputeMs(a, l) || lat == MemoryMs(a, l))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func near(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

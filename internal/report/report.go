@@ -1,0 +1,152 @@
+// Package report serializes experiment artifacts as CSV and JSON so
+// downstream tooling (spreadsheets, plotting scripts) can consume the
+// regenerated tables and figures without parsing the human-readable text.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"haxconn/internal/experiments"
+	"haxconn/internal/profiler"
+)
+
+// WriteJSON serializes any artifact value as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// csvWriter wraps csv.Writer with float formatting helpers.
+type csvWriter struct {
+	w *csv.Writer
+}
+
+func newCSV(w io.Writer) *csvWriter { return &csvWriter{w: csv.NewWriter(w)} }
+
+func (c *csvWriter) row(fields ...any) error {
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		switch v := f.(type) {
+		case string:
+			out[i] = v
+		case int:
+			out[i] = strconv.Itoa(v)
+		case float64:
+			out[i] = strconv.FormatFloat(v, 'f', 4, 64)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	return c.w.Write(out)
+}
+
+func (c *csvWriter) flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// Table6CSV writes the ten-experiment comparison.
+func Table6CSV(w io.Writer, rows []*experiments.T6Row) error {
+	c := newCSV(w)
+	if err := c.row("exp", "platform", "goal", "networks", "best_baseline",
+		"baseline_ms", "baseline_fps", "hax_ms", "hax_fps",
+		"impr_lat_pct", "impr_fps_pct", "paper_lat_pct", "paper_fps_pct", "schedule"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		base := r.Baselines[r.BestBaseline]
+		nets := ""
+		for i, n := range r.Def.Networks {
+			if i > 0 {
+				nets += "+"
+			}
+			nets += n
+		}
+		if err := c.row(r.Def.Exp, r.Def.Platform, r.Def.Goal.String(), nets, r.BestBaseline,
+			base.LatencyMs, base.FPS, r.HaX.LatencyMs, r.HaX.FPS,
+			100*r.ImprLat, 100*r.ImprFPS,
+			100*r.Def.PaperImprLat, 100*r.Def.PaperImprFPS, r.Schedule); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// Table2CSV writes the layer-group characterization.
+func Table2CSV(w io.Writer, rows []profiler.Table2Row) error {
+	c := newCSV(w)
+	if err := c.row("group", "gpu_ms", "dla_ms", "dg_ratio", "gtod_ms", "dtog_ms", "mem_thr_pct"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := c.row(r.Label, r.GPUMs, r.DLAMs, r.Ratio, r.GtoDMs, r.DtoGMs, r.MemThroughPc); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// Table5CSV writes the standalone-runtime table.
+func Table5CSV(w io.Writer, rows []experiments.T5Row) error {
+	c := newCSV(w)
+	if err := c.row("network", "orin_gpu_ms", "orin_dla_ms", "xavier_gpu_ms", "xavier_dla_ms",
+		"paper_orin_gpu", "paper_orin_dla", "paper_xavier_gpu", "paper_xavier_dla"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := c.row(r.Network, r.OrinGPUMs, r.OrinDLAMs, r.XavierGPUMs, r.XavierDLAMs,
+			r.PaperOrinGPU, r.PaperOrinDLA, r.PaperXavierGPU, r.PaperXavierDLA); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// Table8CSV writes the pairwise matrix.
+func Table8CSV(w io.Writer, cells []experiments.T8Cell) error {
+	c := newCSV(w)
+	if err := c.row("net1", "net2", "best_baseline", "fps_ratio", "iter1", "iter2", "schedule"); err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		if err := c.row(cell.Net1, cell.Net2, cell.BestBaseline, cell.Ratio, cell.Iter1, cell.Iter2, cell.Schedule); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// Fig5CSV writes the Scenario 1 throughput rows.
+func Fig5CSV(w io.Writer, rows []experiments.Fig5Row) error {
+	c := newCSV(w)
+	if err := c.row("network", "gpu_only_fps", "naive_fps", "mensa_fps", "hax_fps", "impr_pct"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := c.row(r.Network, r.GPUOnly, r.NaiveFPS, r.MensaFPS, r.HaXFPS, r.ImprPct); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// Fig7CSV writes the dynamic-convergence series (one row per update).
+func Fig7CSV(w io.Writer, phases []experiments.Fig7Phase) error {
+	c := newCSV(w)
+	if err := c.row("phase", "solver_time_us", "latency_ms", "baseline_ms", "optimal_ms"); err != nil {
+		return err
+	}
+	for i, ph := range phases {
+		for _, u := range ph.Updates {
+			if err := c.row(i+1, float64(u.SolverTime.Microseconds()), u.LatencyMs, ph.BaselineMs, ph.OptimalMs); err != nil {
+				return err
+			}
+		}
+	}
+	return c.flush()
+}

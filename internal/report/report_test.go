@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"haxconn/internal/experiments"
+	"haxconn/internal/schedule"
+)
+
+func sampleT6() []*experiments.T6Row {
+	return []*experiments.T6Row{{
+		Def: experiments.T6Def{
+			Exp: 1, Platform: "Xavier", Goal: schedule.MinMaxLatency,
+			Networks:     []string{"VGG19", "ResNet152"},
+			PaperImprLat: 0.23, PaperImprFPS: 0.22,
+		},
+		Baselines:    map[string]experiments.Metrics{"GPU-only": {LatencyMs: 18.5, FPS: 108}},
+		BestBaseline: "GPU-only",
+		HaX:          experiments.Metrics{LatencyMs: 13.2, FPS: 151},
+		Schedule:     "VGG19: GPU[0-28] DLA[29-45]",
+		ImprLat:      0.28, ImprFPS: 0.40,
+	}}
+}
+
+func TestTable6CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table6CSV(&buf, sampleT6()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "exp" || recs[1][1] != "Xavier" {
+		t.Errorf("unexpected contents: %v", recs)
+	}
+	if !strings.Contains(recs[1][3], "VGG19+ResNet152") {
+		t.Errorf("networks column: %q", recs[1][3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleT6()); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("%d entries", len(back))
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	phases := []experiments.Fig7Phase{{
+		Networks:   []string{"A", "B"},
+		BaselineMs: 20, OptimalMs: 15,
+		Updates: []experiments.Fig7Update{
+			{SolverTime: 50 * time.Microsecond, LatencyMs: 20},
+			{SolverTime: 500 * time.Microsecond, LatencyMs: 15},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := Fig7CSV(&buf, phases); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+}
+
+func TestRealArtifactsSerialize(t *testing.T) {
+	// End-to-end: real Table 2/5 and Fig 5 rows go through CSV cleanly.
+	var buf bytes.Buffer
+	if err := Table2CSV(&buf, experiments.Table2()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 9 {
+		t.Errorf("table2 lines = %d", lines)
+	}
+	buf.Reset()
+	if err := Table5CSV(&buf, experiments.Table5()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 11 {
+		t.Errorf("table5 lines = %d", lines)
+	}
+	buf.Reset()
+	rows, err := experiments.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig5CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	cells := []experiments.T8Cell{{Net1: "A", Net2: "B", BestBaseline: "GPU", Ratio: 1.1, Iter1: 1, Iter2: 2}}
+	if err := Table8CSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.1000") {
+		t.Errorf("ratio missing: %s", buf.String())
+	}
+}

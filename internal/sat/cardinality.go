@@ -1,0 +1,82 @@
+package sat
+
+import "fmt"
+
+// ExactlyOne constrains exactly one of the literals to be true: an
+// at-least-one clause plus pairwise at-most-one.
+func (s *Solver) ExactlyOne(lits ...int) error {
+	if len(lits) == 0 {
+		return fmt.Errorf("sat: ExactlyOne over no literals")
+	}
+	if err := s.AddClause(lits...); err != nil {
+		return err
+	}
+	return s.AtMostOne(lits...)
+}
+
+// AtMostOne adds pairwise at-most-one constraints over the literals.
+func (s *Solver) AtMostOne(lits ...int) error {
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			if err := s.AddClause(-lits[i], -lits[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AtMostK constrains at most k of the literals to be true using the
+// sequential-counter encoding (Sinz 2005): auxiliary registers reg[i][j]
+// mean "at least j+1 of lits[0..i] are true".
+func (s *Solver) AtMostK(lits []int, k int) error {
+	if k < 0 {
+		return fmt.Errorf("sat: AtMostK with negative k")
+	}
+	m := len(lits)
+	if m == 0 || k >= m {
+		return nil
+	}
+	if k == 0 {
+		for _, l := range lits {
+			if err := s.AddClause(-l); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	reg := make([][]int, m)
+	for i := range reg {
+		reg[i] = make([]int, k)
+		for j := range reg[i] {
+			reg[i][j] = s.NewVar()
+		}
+	}
+	if err := s.AddClause(-lits[0], reg[0][0]); err != nil {
+		return err
+	}
+	for j := 1; j < k; j++ {
+		if err := s.AddClause(-reg[0][j]); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < m; i++ {
+		if err := s.AddClause(-lits[i], reg[i][0]); err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			if err := s.AddClause(-reg[i-1][j], reg[i][j]); err != nil {
+				return err
+			}
+		}
+		for j := 1; j < k; j++ {
+			if err := s.AddClause(-lits[i], -reg[i-1][j-1], reg[i][j]); err != nil {
+				return err
+			}
+		}
+		if err := s.AddClause(-lits[i], -reg[i-1][k-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

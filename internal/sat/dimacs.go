@@ -1,0 +1,100 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format and returns a solver
+// loaded with it. Comments (c ...) are skipped; the problem line
+// (p cnf <vars> <clauses>) declares the variable count; clauses are
+// whitespace-separated literals terminated by 0 and may span lines.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	declared := -1
+	var clause []int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			declared = n
+			for i := 0; i < n; i++ {
+				s.NewVar()
+			}
+			continue
+		}
+		if declared < 0 {
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if lit == 0 {
+				if err := s.AddClause(clause...); err != nil {
+					return nil, fmt.Errorf("sat: line %d: %w", lineNo, err)
+				}
+				clause = clause[:0]
+				continue
+			}
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > declared {
+				return nil, fmt.Errorf("sat: line %d: literal %d exceeds declared %d variables", lineNo, lit, declared)
+			}
+			clause = append(clause, lit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		if err := s.AddClause(clause...); err != nil {
+			return nil, err
+		}
+	}
+	if declared < 0 {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	return s, nil
+}
+
+// WriteDIMACS serializes the formula exactly as added (problem clauses
+// only, no learnt clauses) in DIMACS CNF format.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.original)); err != nil {
+		return err
+	}
+	for _, cl := range s.original {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

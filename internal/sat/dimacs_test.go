@@ -1,0 +1,194 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `c a comment
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Errorf("vars = %d", s.NumVars())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	// Verify model satisfies the formula.
+	a, b, c := s.Value(1), s.Value(2), s.Value(3)
+	if !(a || b) || !(!a || c) || !(!b || !c) {
+		t.Errorf("model a=%v b=%v c=%v does not satisfy", a, b, c)
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 2 1\n1\n2 0\n"
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClauses() != 1 {
+		t.Errorf("clauses = %d", s.NumClauses())
+	}
+}
+
+func TestParseDIMACSUnterminatedClause(t *testing.T) {
+	// Final clause without trailing 0 is accepted (common in the wild).
+	in := "p cnf 2 1\n1 2\n"
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Error("should be SAT")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"1 2 0\n",              // clause before problem line
+		"p cnf x 3\n",          // bad var count
+		"p dnf 2 1\n1 0\n",     // wrong format tag
+		"p cnf 2 1\n1 zebra 0", // bad literal
+		"p cnf 2 1\n5 0\n",     // literal out of range
+		"",                     // missing problem line
+	}
+	for i, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := 3 + rng.Intn(6)
+		m := 2 + rng.Intn(4*n)
+		s1 := New()
+		for v := 0; v < n; v++ {
+			s1.NewVar()
+		}
+		for i := 0; i < m; i++ {
+			cl := make([]int, 3)
+			for k := range cl {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[k] = v
+			}
+			if err := s1.AddClause(cl...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s1.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, buf.String())
+		}
+		if got, want := s2.Solve(), s1.Solve(); got != want {
+			t.Fatalf("iter %d: round-trip verdict %v != %v", iter, got, want)
+		}
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	s := New()
+	vars := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	if err := s.ExactlyOne(vars...); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for s.Solve() == Sat {
+		trues := 0
+		block := []int{}
+		for _, v := range vars {
+			if s.Value(v) {
+				trues++
+				block = append(block, -v)
+			} else {
+				block = append(block, v)
+			}
+		}
+		if trues != 1 {
+			t.Fatalf("model with %d true literals", trues)
+		}
+		count++
+		if count > 3 {
+			t.Fatal("too many models")
+		}
+		s.AddClause(block...)
+	}
+	if count != 3 {
+		t.Errorf("enumerated %d models, want 3", count)
+	}
+	if err := s.ExactlyOne(); err == nil {
+		t.Error("ExactlyOne() over nothing should fail")
+	}
+}
+
+func TestAtMostK(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3} {
+		s := New()
+		n := 4
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		if err := s.AtMostK(vars, k); err != nil {
+			t.Fatal(err)
+		}
+		// Count models restricted to the original variables.
+		models := map[[4]bool]bool{}
+		for s.Solve() == Sat {
+			var key [4]bool
+			block := []int{}
+			for i, v := range vars {
+				key[i] = s.Value(v)
+				if s.Value(v) {
+					block = append(block, -v)
+				} else {
+					block = append(block, v)
+				}
+			}
+			trues := 0
+			for _, b := range key {
+				if b {
+					trues++
+				}
+			}
+			if trues > k {
+				t.Fatalf("k=%d: model with %d true", k, trues)
+			}
+			models[key] = true
+			s.AddClause(block...)
+		}
+		// Expected count: sum_{i<=k} C(4,i).
+		want := 0
+		choose := []int{1, 4, 6, 4, 1}
+		for i := 0; i <= k; i++ {
+			want += choose[i]
+		}
+		if len(models) != want {
+			t.Errorf("k=%d: %d models, want %d", k, len(models), want)
+		}
+	}
+	s := New()
+	if err := s.AtMostK([]int{1}, -1); err == nil {
+		t.Error("negative k should fail")
+	}
+}

@@ -1,0 +1,90 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by VSIDS activity, with an
+// index map for decrease/increase-key updates.
+type varHeap struct {
+	s    *Solver
+	heap []int
+	pos  map[int]int
+}
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) inHeap(v int) bool {
+	if h.pos == nil {
+		return false
+	}
+	_, ok := h.pos[v]
+	return ok
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[h.heap[a]] > h.s.activity[h.heap[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) push(v int) {
+	if h.pos == nil {
+		h.pos = make(map[int]int)
+	}
+	if h.inHeap(v) {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	delete(h.pos, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// update restores heap order for v after an activity bump.
+func (h *varHeap) update(v int) {
+	if i, ok := h.pos[v]; ok {
+		h.up(i)
+	}
+}

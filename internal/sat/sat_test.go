@@ -1,0 +1,434 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if err := s.AddClause(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want SAT", got)
+	}
+	if !s.Value(a) {
+		t.Error("a must be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a)
+	s.AddClause(-a)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want UNSAT", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.AddClause()
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("empty clause: %v, want UNSAT", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if err := s.AddClause(a, -a); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClauses() != 0 {
+		t.Error("tautology should not be stored")
+	}
+	if s.Solve() != Sat {
+		t.Error("tautology-only instance must be SAT")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	s := New()
+	vars := make([]int, 10)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(vars[0])
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(-vars[i], vars[i+1]) // v_i -> v_{i+1}
+	}
+	if s.Solve() != Sat {
+		t.Fatal("chain must be SAT")
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Errorf("var %d should be true", i)
+		}
+	}
+}
+
+func TestXorStyle(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	// a XOR b
+	s.AddClause(a, b)
+	s.AddClause(-a, -b)
+	if s.Solve() != Sat {
+		t.Fatal("XOR must be SAT")
+	}
+	if s.Value(a) == s.Value(b) {
+		t.Error("a and b must differ")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	if s.Solve(-a) != Sat {
+		t.Fatal("SAT under assumption -a")
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Error("expected a=false b=true")
+	}
+	if s.Solve(-a, -b) != Unsat {
+		t.Error("UNSAT under both negated")
+	}
+	// Solver must remain reusable after assumption UNSAT.
+	if s.Solve() != Sat {
+		t.Error("solver must be reusable")
+	}
+}
+
+func TestBadLiteral(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if err := s.AddClause(99); err == nil {
+		t.Error("expected error for undeclared variable")
+	}
+	if err := s.AddClause(0); err == nil {
+		t.Error("expected error for zero literal")
+	}
+	if s.Solve(99) != Unsat {
+		t.Error("bad assumption literal should be UNSAT")
+	}
+}
+
+// Pigeonhole principle PHP(n+1, n) is UNSAT and exercises clause learning.
+func TestPigeonhole(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		s := New()
+		// p[i][j]: pigeon i in hole j.
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ { // every pigeon somewhere
+			cl := make([]int, n)
+			copy(cl, p[i])
+			s.AddClause(cl...)
+		}
+		for j := 0; j < n; j++ { // no two pigeons share a hole
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					s.AddClause(-p[i1][j], -p[i2][j])
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Errorf("PHP(%d,%d) = %v, want UNSAT", n+1, n, got)
+		}
+	}
+}
+
+// Graph coloring: K4 is 3-uncolorable but 4-colorable.
+func TestGraphColoring(t *testing.T) {
+	color := func(nColors int) Status {
+		s := New()
+		const nodes = 4
+		v := make([][]int, nodes)
+		for i := range v {
+			v[i] = make([]int, nColors)
+			for c := range v[i] {
+				v[i][c] = s.NewVar()
+			}
+			s.AddClause(v[i]...)
+		}
+		for i := 0; i < nodes; i++ {
+			for j := i + 1; j < nodes; j++ {
+				for c := 0; c < nColors; c++ {
+					s.AddClause(-v[i][c], -v[j][c])
+				}
+			}
+		}
+		return s.Solve()
+	}
+	if color(3) != Unsat {
+		t.Error("K4 with 3 colors must be UNSAT")
+	}
+	if color(4) != Sat {
+		t.Error("K4 with 4 colors must be SAT")
+	}
+}
+
+// bruteForce reports satisfiability of a CNF by enumeration (n <= 20).
+func bruteForce(n int, cnf [][]int) bool {
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseOK := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := mask&(1<<(v-1)) != 0
+				if (l > 0) == val {
+					clauseOK = true
+					break
+				}
+			}
+			if !clauseOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Randomized differential test against brute force on small 3-SAT.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(5*n)
+		cnf := make([][]int, m)
+		for i := range cnf {
+			cl := make([]int, 3)
+			for k := range cl {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[k] = v
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < n; v++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			if err := s.AddClause(cl...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := s.Solve() == Sat
+		want := bruteForce(n, cnf)
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got {
+			// Verify the model actually satisfies the formula.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model does not satisfy clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalBlocking(t *testing.T) {
+	// Enumerate all 4 models of a 2-variable free formula via blocking
+	// clauses — the pattern the schedule optimizer uses.
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, -a) // mention vars (tautologies are dropped; add real clause)
+	s.AddClause(a, b, -a)
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 4 {
+			t.Fatal("more than 4 models of 2 free variables")
+		}
+		block := []int{}
+		for _, v := range []int{a, b} {
+			if s.Value(v) {
+				block = append(block, -v)
+			} else {
+				block = append(block, v)
+			}
+		}
+		if err := s.AddClause(block...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != 4 {
+		t.Errorf("enumerated %d models, want 4", count)
+	}
+}
+
+func TestModelAndStats(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a)
+	s.AddClause(-a, b)
+	if s.Solve() != Sat {
+		t.Fatal("want SAT")
+	}
+	m := s.Model()
+	if !m[a] || !m[b] {
+		t.Errorf("model %v, want both true", m)
+	}
+	if p, _, _ := s.Stats(); p == 0 {
+		t.Error("expected some propagations")
+	}
+	if s.NumVars() != 2 {
+		t.Errorf("NumVars = %d", s.NumVars())
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []uint64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(uint64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Error("status strings")
+	}
+}
+
+// Hard-ish random 3-SAT near the phase-transition ratio exercises
+// restarts and clause learning at scale; the solver must stay correct and
+// reusable afterwards.
+func TestNearThresholdInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 10; iter++ {
+		n := 50
+		m := int(4.1 * float64(n))
+		s := New()
+		for v := 0; v < n; v++ {
+			s.NewVar()
+		}
+		var cnf [][]int
+		for i := 0; i < m; i++ {
+			cl := make([]int, 3)
+			for k := range cl {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[k] = v
+			}
+			cnf = append(cnf, cl)
+			if err := s.AddClause(cl...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		verdict := s.Solve()
+		if verdict == Sat {
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model violates clause %v", iter, cl)
+				}
+			}
+		}
+		// Re-solving must be stable.
+		if s.Solve() != verdict {
+			t.Fatalf("iter %d: verdict changed on re-solve", iter)
+		}
+	}
+}
+
+func TestReduceDBKeepsCorrectness(t *testing.T) {
+	// Build a satisfiable instance, solve it (accumulating learnt
+	// clauses), force a database reduction, and confirm the verdict and
+	// model validity survive.
+	rng := rand.New(rand.NewSource(5))
+	s := New()
+	n := 40
+	for v := 0; v < n; v++ {
+		s.NewVar()
+	}
+	var cnf [][]int
+	for i := 0; i < 150; i++ {
+		cl := make([]int, 3)
+		for k := range cl {
+			v := 1 + rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			cl[k] = v
+		}
+		cnf = append(cnf, cl)
+		s.AddClause(cl...)
+	}
+	verdict := s.Solve()
+	before := s.NumLearnts()
+	s.cancelUntil(0)
+	s.reduceDB()
+	if before > 4 && s.NumLearnts() >= before {
+		t.Errorf("reduceDB kept %d of %d learnts", s.NumLearnts(), before)
+	}
+	if s.Solve() != verdict {
+		t.Fatal("verdict changed after reduceDB")
+	}
+	if verdict == Sat {
+		for _, cl := range cnf {
+			ok := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				if (l > 0) == s.Value(v) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("model violates clause %v after reduceDB", cl)
+			}
+		}
+	}
+}

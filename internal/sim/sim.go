@@ -1,0 +1,421 @@
+// Package sim is a discrete-event simulator of concurrent DNN execution on
+// a shared-memory SoC. It is the repository's substitute for running
+// TensorRT/SNPE engines on silicon: schedules are "executed" against it and
+// the resulting latencies are the measured numbers of every experiment.
+//
+// The engine advances time between events (task completions). Within each
+// contention interval — the span during which the set of active tasks is
+// constant, exactly the concept of Fig. 4 / Eq. 8 of the paper — every
+// active task progresses at a rate set by the Arbiter from the demands of
+// all concurrently active tasks. Each accelerator executes one task at a
+// time; tasks of a stream run in order; streams may depend on other
+// streams (pipelines, Scenario 3/4).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"haxconn/internal/contention"
+	"haxconn/internal/soc"
+)
+
+// Task is one unit of accelerator work: a layer group's execution or an
+// inter-accelerator transition.
+type Task struct {
+	Label        string
+	Accel        int     // index into the platform's accelerator list
+	BaseMs       float64 // standalone duration
+	DemandGBps   float64 // memory throughput requested while running
+	MemIntensity float64 // fraction of BaseMs that stretches under contention
+}
+
+// Stream is an ordered list of tasks (one DNN inference, possibly several
+// iterations). After lists stream indices that must complete before the
+// stream starts (inter-DNN pipelines).
+type Stream struct {
+	Name  string
+	Tasks []Task
+	After []int
+}
+
+// Background is a constant co-running memory demand that participates in
+// arbitration but never completes — e.g. the on-line solver occupying a CPU
+// core in the Table 7 experiment.
+type Background struct {
+	Label      string
+	DemandGBps float64
+}
+
+// Workload is a complete concurrent execution to simulate.
+type Workload struct {
+	Streams    []Stream
+	Background []Background
+}
+
+// Arbiter converts the demands and memory intensities of concurrently
+// active tasks into per-task slowdowns for one contention interval.
+// Implementations: GroundTruth (max-min EMC arbitration, used for measured
+// results) and ModelArbiter (a contention.Model, used by the analytic
+// schedule evaluator).
+type Arbiter interface {
+	Slowdowns(demands, intensities []float64) []float64
+}
+
+// GroundTruth arbitrates with max-min fair sharing of the platform's
+// saturation bandwidth — the simulator's "real hardware" behaviour.
+type GroundTruth struct {
+	SatBW float64
+}
+
+// Slowdowns implements Arbiter.
+func (g GroundTruth) Slowdowns(demands, intensities []float64) []float64 {
+	alloc := contention.FairShare(demands, g.SatBW)
+	out := make([]float64, len(demands))
+	for i := range demands {
+		out[i] = contention.Slowdown(demands[i], intensities[i], alloc[i])
+	}
+	return out
+}
+
+// ModelArbiter predicts each task's slowdown with a processor-centric
+// contention model fed the cumulative external demand, mirroring Eq. 7.
+type ModelArbiter struct {
+	Model contention.Model
+}
+
+// Slowdowns implements Arbiter.
+func (m ModelArbiter) Slowdowns(demands, intensities []float64) []float64 {
+	var total float64
+	for _, d := range demands {
+		total += d
+	}
+	out := make([]float64, len(demands))
+	for i := range demands {
+		out[i] = m.Model.SlowdownFor(demands[i], intensities[i], total-demands[i])
+	}
+	return out
+}
+
+// TaskRecord reports one executed task.
+type TaskRecord struct {
+	Stream, Index  int
+	Label          string
+	Accel          int
+	StartMs, EndMs float64
+	// Slowdown is the ratio of actual duration to standalone duration.
+	Slowdown float64
+}
+
+// Interval reports one contention interval: a period with a constant set of
+// active tasks (Fig. 4).
+type Interval struct {
+	StartMs, EndMs float64
+	Active         []string // task labels
+	TotalDemand    float64  // GB/s requested during the interval
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	MakespanMs    float64
+	StreamStartMs []float64
+	StreamEndMs   []float64
+	Records       []TaskRecord
+	Intervals     []Interval
+	// BusyMs is per-accelerator busy time, for utilization reporting.
+	BusyMs []float64
+}
+
+// StreamLatencyMs returns the end-to-end latency of stream i.
+func (r *Result) StreamLatencyMs(i int) float64 {
+	return r.StreamEndMs[i] - r.StreamStartMs[i]
+}
+
+// FPS converts the makespan into frames per second for the given number of
+// frames processed.
+func (r *Result) FPS(frames int) float64 {
+	if r.MakespanMs <= 0 {
+		return 0
+	}
+	return 1000 * float64(frames) / r.MakespanMs
+}
+
+const timeEps = 1e-9
+
+// Run simulates the workload on the platform with the given arbiter.
+func Run(p *soc.Platform, w Workload, arb Arbiter) (*Result, error) {
+	if err := validate(p, w); err != nil {
+		return nil, err
+	}
+	ns := len(w.Streams)
+	res := &Result{
+		StreamStartMs: make([]float64, ns),
+		StreamEndMs:   make([]float64, ns),
+		BusyMs:        make([]float64, len(p.Accels)),
+	}
+	for i := range res.StreamStartMs {
+		res.StreamStartMs[i] = math.NaN()
+	}
+
+	next := make([]int, ns)  // next task index per stream
+	done := make([]bool, ns) // stream completed
+	running := make([]*active, len(p.Accels))
+	waiting := make([][]int, len(p.Accels)) // stream indices queued per accel, FIFO
+
+	streamReady := func(s int) bool {
+		for _, dep := range w.Streams[s].After {
+			if !done[dep] {
+				return false
+			}
+		}
+		return true
+	}
+
+	now := 0.0
+	// enqueue puts stream s's next task on its accelerator queue, or marks
+	// the stream done.
+	var enqueue func(s int)
+	completedStreams := 0
+	enqueue = func(s int) {
+		if next[s] >= len(w.Streams[s].Tasks) {
+			done[s] = true
+			res.StreamEndMs[s] = now
+			completedStreams++
+			// Unblock dependents that were fully waiting on us.
+			for t := range w.Streams {
+				if !done[t] && next[t] == 0 && streamReady(t) && !queuedOrRunning(t, running, waiting) {
+					enqueue(t)
+				}
+			}
+			return
+		}
+		task := w.Streams[s].Tasks[next[s]]
+		waiting[task.Accel] = append(waiting[task.Accel], s)
+	}
+
+	// Seed: streams with no unmet dependencies.
+	for s := range w.Streams {
+		if streamReady(s) {
+			if len(w.Streams[s].Tasks) == 0 {
+				done[s] = true
+				res.StreamStartMs[s] = 0
+				res.StreamEndMs[s] = 0
+				completedStreams++
+				continue
+			}
+			enqueue(s)
+		}
+	}
+	// Re-check dependents of empty streams.
+	for s := range w.Streams {
+		if !done[s] && next[s] == 0 && streamReady(s) && !queuedOrRunning(s, running, waiting) {
+			enqueue(s)
+		}
+	}
+
+	dispatch := func() {
+		for a := range p.Accels {
+			if running[a] != nil || len(waiting[a]) == 0 {
+				continue
+			}
+			s := waiting[a][0]
+			waiting[a] = waiting[a][1:]
+			task := w.Streams[s].Tasks[next[s]]
+			if math.IsNaN(res.StreamStartMs[s]) {
+				res.StreamStartMs[s] = now
+			}
+			running[a] = &active{stream: s, index: next[s], remaining: task.BaseMs, startMs: now}
+			if task.BaseMs <= 0 {
+				running[a].remaining = 0
+			}
+		}
+	}
+	dispatch()
+
+	guard := 0
+	maxEvents := totalTasks(w)*4 + 64
+	for completedStreams < ns {
+		guard++
+		if guard > maxEvents {
+			return nil, fmt.Errorf("sim: no progress after %d events (dependency cycle?)", guard)
+		}
+		// Collect active tasks.
+		var (
+			idxs       []int
+			demands    []float64
+			intensitys []float64
+		)
+		for a, act := range running {
+			if act == nil {
+				continue
+			}
+			task := w.Streams[act.stream].Tasks[act.index]
+			idxs = append(idxs, a)
+			demands = append(demands, task.DemandGBps)
+			intensitys = append(intensitys, task.MemIntensity)
+		}
+		if len(idxs) == 0 {
+			return nil, fmt.Errorf("sim: deadlock at %g ms: %d/%d streams done, none runnable", now, completedStreams, ns)
+		}
+		// Background demands participate in arbitration but have no
+		// completion; append them with intensity 1 and ignore their slowdown.
+		nReal := len(demands)
+		for _, b := range w.Background {
+			demands = append(demands, b.DemandGBps)
+			intensitys = append(intensitys, 1)
+		}
+		slows := arb.Slowdowns(demands, intensitys)
+
+		// Find earliest completion.
+		dt := math.Inf(1)
+		for k, a := range idxs {
+			speed := 1 / slows[k]
+			t := running[a].remaining / speed
+			if running[a].remaining <= 0 {
+				t = 0
+			}
+			if t < dt {
+				dt = t
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		if math.IsInf(dt, 1) || math.IsNaN(dt) {
+			return nil, fmt.Errorf("sim: no task can make progress at %g ms (arbiter returned a non-finite slowdown)", now)
+		}
+		// Record the interval.
+		if dt > 0 {
+			iv := Interval{StartMs: now, EndMs: now + dt}
+			for k, a := range idxs {
+				iv.Active = append(iv.Active, w.Streams[running[a].stream].Tasks[running[a].index].Label)
+				iv.TotalDemand += demands[k]
+			}
+			for _, b := range w.Background {
+				iv.TotalDemand += b.DemandGBps
+			}
+			res.Intervals = append(res.Intervals, iv)
+		}
+		_ = nReal
+
+		// Advance.
+		now += dt
+		for k, a := range idxs {
+			speed := 1 / slows[k]
+			running[a].remaining -= dt * speed
+			res.BusyMs[a] += dt
+		}
+		// Complete finished tasks.
+		for _, a := range idxs {
+			act := running[a]
+			if act.remaining > timeEps {
+				continue
+			}
+			task := w.Streams[act.stream].Tasks[act.index]
+			slow := 1.0
+			if task.BaseMs > 0 {
+				slow = (now - act.startMs) / task.BaseMs
+			}
+			res.Records = append(res.Records, TaskRecord{
+				Stream: act.stream, Index: act.index, Label: task.Label,
+				Accel: a, StartMs: act.startMs, EndMs: now, Slowdown: slow,
+			})
+			running[a] = nil
+			next[act.stream]++
+			enqueue(act.stream)
+		}
+		dispatch()
+	}
+	res.MakespanMs = now
+	return res, nil
+}
+
+// active tracks one task currently executing on an accelerator; remaining
+// is measured in standalone-ms units.
+type active struct {
+	stream, index int
+	remaining     float64
+	startMs       float64
+}
+
+func queuedOrRunning(s int, running []*active, waiting [][]int) bool {
+	for _, act := range running {
+		if act != nil && act.stream == s {
+			return true
+		}
+	}
+	for _, q := range waiting {
+		for _, t := range q {
+			if t == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func totalTasks(w Workload) int {
+	n := 0
+	for _, s := range w.Streams {
+		n += len(s.Tasks)
+	}
+	return n
+}
+
+func validate(p *soc.Platform, w Workload) error {
+	if len(w.Streams) == 0 {
+		return fmt.Errorf("sim: empty workload")
+	}
+	for si, s := range w.Streams {
+		for _, dep := range s.After {
+			if dep < 0 || dep >= len(w.Streams) {
+				return fmt.Errorf("sim: stream %d depends on invalid stream %d", si, dep)
+			}
+			if dep == si {
+				return fmt.Errorf("sim: stream %d depends on itself", si)
+			}
+		}
+		for ti, t := range s.Tasks {
+			if t.Accel < 0 || t.Accel >= len(p.Accels) {
+				return fmt.Errorf("sim: stream %d task %d: invalid accelerator %d", si, ti, t.Accel)
+			}
+			if t.BaseMs < 0 || t.DemandGBps < 0 || t.MemIntensity < 0 || t.MemIntensity > 1 {
+				return fmt.Errorf("sim: stream %d task %d: invalid parameters", si, ti)
+			}
+		}
+	}
+	if cycle(w) {
+		return fmt.Errorf("sim: dependency cycle among streams")
+	}
+	return nil
+}
+
+// cycle detects cycles in the stream dependency graph.
+func cycle(w Workload) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(w.Streams))
+	var visit func(int) bool
+	visit = func(s int) bool {
+		color[s] = grey
+		for _, d := range w.Streams[s].After {
+			if color[d] == grey {
+				return true
+			}
+			if color[d] == white && visit(d) {
+				return true
+			}
+		}
+		color[s] = black
+		return false
+	}
+	for s := range w.Streams {
+		if color[s] == white && visit(s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,321 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"haxconn/internal/baselines"
+	"haxconn/internal/contention"
+	"haxconn/internal/nn"
+	"haxconn/internal/profiler"
+	"haxconn/internal/schedule"
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+)
+
+func buildProblem(t *testing.T, platform string, obj schedule.Objective, maxGroups int, names ...string) (*schedule.Problem, *schedule.Profile) {
+	t.Helper()
+	p, ok := soc.PlatformByName(platform)
+	if !ok {
+		t.Fatalf("unknown platform %s", platform)
+	}
+	prob := &schedule.Problem{Platform: p, Objective: obj}
+	for _, n := range names {
+		prob.Items = append(prob.Items, schedule.Item{Net: nn.MustByName(n)})
+	}
+	pr, err := profiler.Characterize(prob, profiler.Options{MaxGroups: maxGroups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, pr
+}
+
+func model(t *testing.T, p *soc.Platform) contention.Model {
+	t.Helper()
+	m, err := contention.FitPCCS(p.SatBW(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCandidatesCount(t *testing.T) {
+	_, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 6, "GoogleNet")
+	g := pr.NumGroups(0)
+	// With 2 accelerators: t=0 gives 2; t<=1 adds 2*(g-1).
+	c0 := Candidates(pr, 0, 0)
+	if len(c0) != 2 {
+		t.Errorf("0 transitions: %d candidates, want 2", len(c0))
+	}
+	c1 := Candidates(pr, 0, 1)
+	if want := 2 + 2*(g-1); len(c1) != want {
+		t.Errorf("1 transition: %d candidates, want %d", len(c1), want)
+	}
+	c2 := Candidates(pr, 0, 2)
+	if want := 2 + 2*(g-1) + (g-1)*(g-2); len(c2) != want {
+		t.Errorf("2 transitions: %d candidates, want %d", len(c2), want)
+	}
+	// Every candidate respects the transition budget.
+	for _, cand := range c2 {
+		tr := 0
+		for i := 1; i < len(cand); i++ {
+			if cand[i] != cand[i-1] {
+				tr++
+			}
+		}
+		if tr > 2 {
+			t.Fatalf("candidate %v has %d transitions", cand, tr)
+		}
+	}
+}
+
+func TestBBFindsOptimumExhaustively(t *testing.T) {
+	// Small instance: verify B&B against brute force over all candidates.
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 4, "GoogleNet", "ResNet50")
+	m := model(t, prob.Platform)
+	arb := sim.ModelArbiter{Model: m}
+
+	bruteBest := math.Inf(1)
+	c0 := Candidates(pr, 0, 1)
+	c1 := Candidates(pr, 1, 1)
+	for _, a0 := range c0 {
+		for _, a1 := range c1 {
+			s := &schedule.Schedule{Assign: [][]int{a0, a1}}
+			ev, err := schedule.Evaluate(prob, pr, s, arb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Cost < bruteBest {
+				bruteBest = ev.Cost
+			}
+		}
+	}
+	_, cost, st, err := OptimizeBB(prob, pr, Config{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete {
+		t.Error("search should complete")
+	}
+	if math.Abs(cost-bruteBest) > 1e-9 {
+		t.Errorf("B&B cost %g != brute force %g", cost, bruteBest)
+	}
+}
+
+func TestSATMatchesBB(t *testing.T) {
+	for _, obj := range []schedule.Objective{schedule.MinMaxLatency, schedule.MaxThroughput} {
+		prob, pr := buildProblem(t, "Orin", obj, 4, "GoogleNet", "ResNet50")
+		m := model(t, prob.Platform)
+		_, bbCost, _, err := OptimizeBB(prob, pr, Config{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, satCost, satSt, err := OptimizeSAT(prob, pr, Config{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !satSt.Complete {
+			t.Error("SAT search should complete")
+		}
+		if math.Abs(bbCost-satCost) > 1e-9 {
+			t.Errorf("obj %v: SAT cost %g != B&B cost %g", obj, satCost, bbCost)
+		}
+		if satSt.Nodes == 0 {
+			t.Error("SAT search enumerated no models")
+		}
+	}
+}
+
+func TestSeedsGuaranteeNeverWorse(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 8, "VGG19", "ResNet152")
+	m := model(t, prob.Platform)
+	seeds := []*schedule.Schedule{baselines.GPUOnly(pr), baselines.NaiveConcurrent(pr)}
+	best, cost, _, err := OptimizeBB(prob, pr, Config{Model: m, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := sim.ModelArbiter{Model: m}
+	for _, seed := range seeds {
+		ev, err := schedule.Evaluate(prob, pr, seed, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > ev.Cost+1e-9 {
+			t.Errorf("optimal cost %g worse than seed %g", cost, ev.Cost)
+		}
+	}
+	if err := best.Validate(pr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionBudgetRespected(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 8, "GoogleNet", "ResNet101")
+	m := model(t, prob.Platform)
+	for _, maxT := range []int{1, 2} {
+		best, _, _, err := OptimizeBB(prob, pr, Config{Model: m, MaxTransitions: maxT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range prob.Items {
+			if tr := best.Transitions(i); tr > maxT {
+				t.Errorf("maxT=%d: item %d has %d transitions", maxT, i, tr)
+			}
+		}
+	}
+}
+
+func TestAnytimeImprovesMonotonically(t *testing.T) {
+	prob, pr := buildProblem(t, "Xavier", schedule.MinMaxLatency, 8, "VGG19", "ResNet152")
+	m := model(t, prob.Platform)
+	a, err := RunAnytime(prob, pr, Config{
+		Model: m,
+		Seeds: []*schedule.Schedule{baselines.NaiveConcurrent(pr)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.History) == 0 {
+		t.Fatal("no incumbents recorded")
+	}
+	for i := 1; i < len(a.History); i++ {
+		if a.History[i].Cost >= a.History[i-1].Cost {
+			t.Errorf("incumbent %d cost %g not better than %g", i, a.History[i].Cost, a.History[i-1].Cost)
+		}
+		if a.History[i].Elapsed < a.History[i-1].Elapsed {
+			t.Errorf("incumbent %d elapsed went backwards", i)
+		}
+	}
+	last := a.History[len(a.History)-1]
+	if last.Cost != a.Cost {
+		t.Error("final history entry must match the returned best")
+	}
+	// ScheduleAt(0) is the earliest incumbent; ScheduleAt(inf) the final one.
+	if s := a.ScheduleAt(0); s == nil {
+		t.Error("ScheduleAt(0) returned nil")
+	}
+	if s := a.ScheduleAt(time.Hour); s == nil || s.Transitions(0) != last.Schedule.Transitions(0) {
+		t.Error("ScheduleAt(large) should return the final incumbent")
+	}
+}
+
+func TestTimeBudgetStopsSearch(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 12, "ResNet152", "Inception", "GoogleNet")
+	m := model(t, prob.Platform)
+	_, _, st, err := OptimizeBB(prob, pr, Config{
+		Model:      m,
+		TimeBudget: time.Microsecond,
+		Seeds:      []*schedule.Schedule{baselines.GPUOnly(pr)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete {
+		t.Error("1us budget should not complete a 3-network search")
+	}
+}
+
+func TestNilModelRejected(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 4, "AlexNet")
+	if _, _, _, err := OptimizeBB(prob, pr, Config{}); err == nil {
+		t.Error("nil model must be rejected")
+	}
+	if _, _, _, err := OptimizeSAT(prob, pr, Config{}); err == nil {
+		t.Error("nil model must be rejected (SAT)")
+	}
+}
+
+func TestContentionAwareBeatsUnawarePrediction(t *testing.T) {
+	// The headline claim: optimizing with the contention model yields a
+	// schedule that is no worse — and typically better — on ground truth
+	// than optimizing with a contention-unaware cost.
+	prob, pr := buildProblem(t, "Xavier", schedule.MinMaxLatency, 8, "VGG19", "ResNet152")
+	m := model(t, prob.Platform)
+	seeds := []*schedule.Schedule{baselines.GPUOnly(pr), baselines.NaiveConcurrent(pr)}
+
+	aware, _, _, err := OptimizeBB(prob, pr, Config{Model: m, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unaware, _, _, err := OptimizeBB(prob, pr, Config{Model: contention.None{}, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := sim.GroundTruth{SatBW: prob.Platform.SatBW()}
+	evA, err := schedule.Evaluate(prob, pr, aware, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evU, err := schedule.Evaluate(prob, pr, unaware, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evA.MakespanMs > evU.MakespanMs*1.02 {
+		t.Errorf("contention-aware measured %g ms worse than unaware %g ms", evA.MakespanMs, evU.MakespanMs)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	p := soc.Orin()
+	prob := &schedule.Problem{Platform: p, Items: []schedule.Item{
+		{Net: nn.MustByName("AlexNet")},
+		{Net: nn.MustByName("GoogleNet"), After: []int{0}},
+		{Net: nn.MustByName("ResNet18")},
+	}}
+	lat := []float64{3, 4, 5}
+	// Chain 0->1 is 7; item 2 alone is 5.
+	if got := criticalPath(prob, lat); got != 7 {
+		t.Errorf("critical path = %g, want 7", got)
+	}
+}
+
+func TestLocalSearchNeverBeatsExactAndIsClose(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 8, "VGG19", "ResNet152")
+	m := model(t, prob.Platform)
+	seeds := []*schedule.Schedule{baselines.GPUOnly(pr), baselines.NaiveConcurrent(pr)}
+	_, exact, _, err := OptimizeBB(prob, pr, Config{Model: m, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, heur, st, err := OptimizeLocal(prob, pr, Config{Model: m, Seeds: seeds}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur < exact-1e-9 {
+		t.Fatalf("heuristic cost %g beats the proven optimum %g", heur, exact)
+	}
+	// With restarts and baseline seeds the gap on this instance is small.
+	if heur > exact*1.15 {
+		t.Errorf("heuristic cost %g is %.0f%% above the optimum %g", heur, 100*(heur/exact-1), exact)
+	}
+	if err := best.Validate(pr); err != nil {
+		t.Error(err)
+	}
+	if !st.Complete || st.Evals == 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLocalSearchErrors(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 4, "AlexNet")
+	if _, _, _, err := OptimizeLocal(prob, pr, Config{}, 1, 1); err == nil {
+		t.Error("nil model must be rejected")
+	}
+}
+
+func TestLocalSearchDeterministicForSeed(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 6, "GoogleNet", "ResNet50")
+	m := model(t, prob.Platform)
+	_, c1, _, err := OptimizeLocal(prob, pr, Config{Model: m}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, _, err := OptimizeLocal(prob, pr, Config{Model: m}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("same seed gave costs %g and %g", c1, c2)
+	}
+}

@@ -1,0 +1,76 @@
+// Package trace exports simulator timelines in the Chrome trace-event
+// format (chrome://tracing, Perfetto), one row per accelerator plus a
+// counter track for the EMC demand — the visual equivalent of the paper's
+// Fig. 1 and Fig. 4 timelines.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+)
+
+// event is one Chrome trace event (the JSON array format).
+type event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Write serializes a simulation result as a Chrome trace. Task executions
+// become duration events on their accelerator's row; contention intervals
+// become counter samples of the total EMC demand.
+func Write(w io.Writer, p *soc.Platform, res *sim.Result) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	var events []event
+	// Process/thread metadata: one "thread" per accelerator.
+	for ai, a := range p.Accels {
+		events = append(events, event{
+			Name: "thread_name", Phase: "M", PID: 1, TID: ai,
+			Args: map[string]any{"name": a.Name},
+		})
+	}
+	events = append(events, event{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": p.Name},
+	})
+	for _, rec := range res.Records {
+		events = append(events, event{
+			Name:  rec.Label,
+			Phase: "X",
+			TS:    rec.StartMs * 1000,
+			Dur:   (rec.EndMs - rec.StartMs) * 1000,
+			PID:   1,
+			TID:   rec.Accel,
+			Args: map[string]any{
+				"stream":   rec.Stream,
+				"slowdown": rec.Slowdown,
+			},
+		})
+	}
+	for _, iv := range res.Intervals {
+		events = append(events, event{
+			Name:  "EMC demand (GB/s)",
+			Phase: "C",
+			TS:    iv.StartMs * 1000,
+			PID:   1,
+			Args:  map[string]any{"demand": iv.TotalDemand},
+		})
+	}
+	// Close the counter at the end of the run.
+	events = append(events, event{
+		Name: "EMC demand (GB/s)", Phase: "C", TS: res.MakespanMs * 1000,
+		PID: 1, Args: map[string]any{"demand": 0.0},
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
