@@ -1,0 +1,210 @@
+// Command serve runs the online contention-aware inference-serving runtime
+// against generated multi-tenant traffic and reports per-tenant latency
+// percentiles, SLO violations, throughput and schedule-cache statistics.
+//
+// Tenants are specified as name:network:rate:slo — rate is requests per
+// second for Poisson arrivals (the default) or the period in milliseconds
+// with -arrivals periodic; slo is the per-request latency objective in ms.
+//
+// Examples:
+//
+//	serve                                # two-tenant demo, naive-vs-aware comparison
+//	serve -mode aware -duration 5000 -csv out.csv
+//	serve -platform Xavier -tenants "cam:VGG19:30:40,lidar:ResNet101:25:50" -arrivals periodic
+//	serve -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"haxconn/internal/nn"
+	"haxconn/internal/report"
+	"haxconn/internal/schedule"
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	var (
+		platform  = flag.String("platform", "Orin", "target SoC: Orin, Xavier or SD865")
+		tenants   = flag.String("tenants", "alice:VGG19:140:10,bob:ResNet152:140:12", "tenant specs as name:network:rate:slo, comma-separated")
+		arrivals  = flag.String("arrivals", "poisson", "arrival process: poisson (rate = req/s) or periodic (rate = period ms)")
+		duration  = flag.Float64("duration", 1000, "trace duration in virtual ms")
+		seed      = flag.Int64("seed", 1, "load-generator seed")
+		mode      = flag.String("mode", "compare", "serving mode: aware, naive or compare")
+		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
+		maxBatch  = flag.Int("maxbatch", 0, "max concurrent requests per dispatch round (default: #accelerators)")
+		maxQueue  = flag.Int("maxqueue", 0, "per-tenant pending-queue cap; 0 = unlimited")
+		admitSLO  = flag.Float64("admitslo", 0, "reject requests whose estimated latency exceeds this factor x SLO; 0 = admit all")
+		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see autoloop)")
+		csvOut    = flag.String("csv", "", "write per-tenant statistics as CSV to this file")
+		jsonOut   = flag.String("json", "", "write the full summary as JSON to this file")
+		list      = flag.Bool("list", false, "list available networks and platforms, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("networks: ", strings.Join(nn.Names(), ", "))
+		names := []string{}
+		for _, p := range soc.Platforms() {
+			names = append(names, p.Name)
+		}
+		fmt.Println("platforms:", strings.Join(names, ", "))
+		return
+	}
+	p, ok := soc.PlatformByName(*platform)
+	if !ok {
+		fatalf("unknown platform %q", *platform)
+	}
+	specs, err := parseTenants(*tenants, *arrivals)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, err := serve.Generate(specs, *duration, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := serve.Config{
+		Platform:        p,
+		Policy:          serve.ContentionAware,
+		MaxBatch:        *maxBatch,
+		MaxQueue:        *maxQueue,
+		AdmitSLOFactor:  *admitSLO,
+		SolverTimeScale: *scale,
+	}
+	switch *objective {
+	case "latency":
+		cfg.Objective = schedule.MinMaxLatency
+	case "fps":
+		cfg.Objective = schedule.MaxThroughput
+	default:
+		fatalf("unknown objective %q", *objective)
+	}
+
+	fmt.Printf("serving %d requests from %d tenants on %s (%s arrivals, %.0f ms)\n\n",
+		len(tr), len(specs), p.Name, *arrivals, *duration)
+
+	switch *mode {
+	case "aware", "naive":
+		if *mode == "naive" {
+			cfg.Policy = serve.NaiveGPUOnly
+		}
+		rt, err := serve.New(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printSummary(sum)
+		writeOutputs(*csvOut, *jsonOut, sum, nil)
+	case "compare":
+		cmp, err := serve.Compare(cfg, tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printSummary(cmp.Naive)
+		printSummary(cmp.Aware)
+		fmt.Printf("p99 latency:    naive %.2f ms -> aware %.2f ms (%.1f%% better)\n",
+			cmp.Naive.Total.P99Ms, cmp.Aware.Total.P99Ms, cmp.P99ImprovementPct())
+		fmt.Printf("SLO violations: naive %d -> aware %d (%d avoided)\n",
+			cmp.Naive.Total.Violations, cmp.Aware.Total.Violations, cmp.ViolationsAvoided())
+		writeOutputs(*csvOut, *jsonOut, nil, cmp)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+// parseTenants parses comma-separated name:network:rate:slo specs.
+func parseTenants(s, arrivals string) ([]serve.TenantSpec, error) {
+	if arrivals != "poisson" && arrivals != "periodic" {
+		return nil, fmt.Errorf("unknown arrival process %q", arrivals)
+	}
+	var specs []serve.TenantSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
+		}
+		slo, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
+		}
+		sp := serve.TenantSpec{Name: fields[0], Network: fields[1], SLOMs: slo}
+		if arrivals == "poisson" {
+			sp.RateRPS = rate
+		} else {
+			sp.PeriodMs = rate
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+func printSummary(sum *serve.Summary) {
+	fmt.Printf("== %s ==\n", sum.Policy)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tnetwork\toffered\trejected\tcompleted\tmean ms\tp50\tp95\tp99\tmax\tviol\trate\treq/s")
+	for _, ts := range append(append([]serve.TenantStats(nil), sum.Tenants...), sum.Total) {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%.1f%%\t%.1f\n",
+			ts.Tenant, ts.Network, ts.Offered, ts.Rejected, ts.Completed,
+			ts.MeanMs, ts.P50Ms, ts.P95Ms, ts.P99Ms, ts.MaxMs,
+			ts.Violations, 100*ts.ViolationRate, ts.ThroughputRPS)
+	}
+	tw.Flush()
+	fmt.Printf("rounds=%d  cache: %d misses, %d hits (%.1f%% hit rate), %d upgrades\n\n",
+		sum.Rounds, sum.CacheMisses, sum.CacheHits, 100*sum.CacheHitRate, sum.CacheUpgrades)
+}
+
+func writeOutputs(csvPath, jsonPath string, sum *serve.Summary, cmp *serve.Comparison) {
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if cmp != nil {
+			err = report.ServingComparisonCSV(f, cmp)
+		} else {
+			err = report.ServingCSV(f, sum)
+		}
+		if err != nil {
+			fatalf("writing %s: %v", csvPath, err)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		var v any = sum
+		if cmp != nil {
+			v = cmp
+		}
+		if err := report.WriteJSON(f, v); err != nil {
+			fatalf("writing %s: %v", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasPrefix(msg, "serve: ") {
+		msg = "serve: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

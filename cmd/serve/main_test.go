@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants("alice:VGG19:140:10, bob:ResNet152:25:12", "poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	if specs[0].Name != "alice" || specs[0].Network != "VGG19" ||
+		specs[0].RateRPS != 140 || specs[0].SLOMs != 10 || specs[0].PeriodMs != 0 {
+		t.Errorf("spec 0: %+v", specs[0])
+	}
+	specs, err = parseTenants("cam:VGG19:33:40", "periodic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].PeriodMs != 33 || specs[0].RateRPS != 0 {
+		t.Errorf("periodic spec: %+v", specs[0])
+	}
+	for _, bad := range []struct{ s, arr string }{
+		{"alice:VGG19:140", "poisson"},
+		{"alice:VGG19:x:10", "poisson"},
+		{"alice:VGG19:140:y", "poisson"},
+		{"alice:VGG19:140:10", "uniform"},
+	} {
+		if _, err := parseTenants(bad.s, bad.arr); err == nil {
+			t.Errorf("parseTenants(%q, %q): expected error", bad.s, bad.arr)
+		}
+	}
+}

@@ -2,8 +2,8 @@
 // Memory-contention-aware Concurrent DNN Execution for Diversely
 // Heterogeneous SoCs" (Dagli & Belviranli, PPoPP 2024).
 //
-// The public pipeline lives in internal/core; the benchmark suite in
-// bench_test.go regenerates every table and figure of the paper's
-// evaluation. See README.md for a tour and DESIGN.md for the system
-// inventory and per-experiment index.
+// The public pipeline lives in internal/core; the online serving runtime
+// in internal/serve; the benchmark suite in bench_test.go regenerates
+// every table and figure of the paper's evaluation. See README.md for a
+// package tour and quickstart.
 package haxconn

@@ -1,0 +1,73 @@
+// Serving: the online contention-aware inference-serving runtime under
+// multi-tenant load. Two tenants (an AR headset pushing VGG19 frames and
+// an analytics service scoring ResNet152) submit Poisson traffic against
+// per-tenant SLOs; the runtime admits requests, batches the oldest pending
+// ones into workload mixes, and serves each mix with a schedule from the
+// mix-keyed cache. Unseen mixes start on the naive schedule and upgrade as
+// the background anytime solver streams incumbents — D-HaX-CoNN (Sec. 3.5)
+// operating as a serving system instead of a camera loop.
+//
+// The walkthrough serves the identical trace twice — naive single-
+// accelerator greedy vs. contention-aware — to quantify the win under
+// load, then shows the schedule cache amortizing solver work.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	// 1. Describe the tenants: name, network, Poisson rate (req/s of
+	// virtual time) and per-request latency SLO.
+	tenants := []serve.TenantSpec{
+		{Name: "headset", Network: "VGG19", RateRPS: 140, SLOMs: 10},
+		{Name: "analytics", Network: "ResNet152", RateRPS: 140, SLOMs: 12},
+	}
+
+	// 2. Generate a deterministic one-second trace (same seed = same
+	// arrivals, so both policies below serve identical traffic).
+	trace, err := serve.Generate(tenants, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d requests over 1000 ms\n\n", len(trace))
+
+	// 3. Serve it under both policies on the AGX Orin.
+	cmp, err := serve.Compare(serve.Config{
+		Platform:        soc.Orin(),
+		SolverTimeScale: 50, // stretch solver time onto the virtual clock
+	}, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sum := range []*serve.Summary{cmp.Naive, cmp.Aware} {
+		fmt.Printf("%-16s p50 %6.2f ms   p95 %6.2f ms   p99 %6.2f ms   %3d SLO violations\n",
+			sum.Policy+":", sum.Total.P50Ms, sum.Total.P95Ms, sum.Total.P99Ms, sum.Total.Violations)
+	}
+	fmt.Printf("\ncontention-aware serving cuts p99 latency by %.1f%% and avoids %d violations\n",
+		cmp.P99ImprovementPct(), cmp.ViolationsAvoided())
+
+	// 4. The schedule cache is why serving stays cheap: the repeated
+	// VGG19+ResNet152 mix is solved once and reused every round, and the
+	// background anytime solver upgraded the entry while traffic flowed.
+	a := cmp.Aware
+	fmt.Printf("cache: %d misses (solves), %d hits, %d incumbent upgrades deployed\n",
+		a.CacheMisses, a.CacheHits, a.CacheUpgrades)
+
+	// 5. Per-tenant breakdown: SLO accounting is what an operator would
+	// alarm on.
+	fmt.Println("\nper-tenant (contention-aware):")
+	for _, ts := range a.Tenants {
+		fmt.Printf("  %-10s %-10s p99 %6.2f ms  violations %d/%d (%.1f%%)\n",
+			ts.Tenant, ts.Network, ts.P99Ms, ts.Violations, ts.Completed, 100*ts.ViolationRate)
+	}
+}

@@ -1,0 +1,3 @@
+module haxconn
+
+go 1.22

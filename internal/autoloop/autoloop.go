@@ -180,7 +180,7 @@ func (p *plan) scheduleAt(sinceModeStartMs float64, scale float64) *schedule.Sch
 // frameLatency measures (and memoizes) one frame's latency under a
 // schedule on the ground-truth simulator.
 func (p *plan) frameLatency(plat *soc.Platform, s *schedule.Schedule) (float64, error) {
-	key := scheduleKey(s)
+	key := s.Key()
 	if ms, ok := p.perFrame[key]; ok {
 		return ms, nil
 	}
@@ -191,17 +191,6 @@ func (p *plan) frameLatency(plat *soc.Platform, s *schedule.Schedule) (float64, 
 	}
 	p.perFrame[key] = ev.MakespanMs
 	return ev.MakespanMs, nil
-}
-
-func scheduleKey(s *schedule.Schedule) string {
-	b := make([]byte, 0, 64)
-	for _, row := range s.Assign {
-		for _, a := range row {
-			b = append(b, byte('0'+a))
-		}
-		b = append(b, '|')
-	}
-	return string(b)
 }
 
 // Run executes the mission timeline and returns per-frame records plus
@@ -235,7 +224,7 @@ func (l *Loop) Run(mission []Phase) ([]FrameRecord, *Stats, error) {
 			arrival := float64(frameIdx) * l.cfg.PeriodMs
 			start := math.Max(arrival, now)
 			s := p.scheduleAt(start-modeStart, l.cfg.scale())
-			deployed[ph.Mode+"/"+scheduleKey(s)] = true
+			deployed[ph.Mode+"/"+s.Key()] = true
 			lat, err := p.frameLatency(l.cfg.Platform, s)
 			if err != nil {
 				return nil, nil, err
@@ -276,9 +265,9 @@ func summarize(records []FrameRecord, switches, deployed int) *Stats {
 	}
 	sort.Float64s(lats)
 	st.MeanMs = sum / float64(len(lats))
-	st.P50Ms = percentile(lats, 0.50)
-	st.P95Ms = percentile(lats, 0.95)
-	st.P99Ms = percentile(lats, 0.99)
+	st.P50Ms = schedule.Percentile(lats, 0.50)
+	st.P95Ms = schedule.Percentile(lats, 0.95)
+	st.P99Ms = schedule.Percentile(lats, 0.99)
 	st.MaxMs = lats[len(lats)-1]
 	st.MissRate = float64(st.Misses) / float64(len(records))
 	st.SimulatedDurationMs = records[len(records)-1].EndMs
@@ -286,19 +275,4 @@ func summarize(records []FrameRecord, switches, deployed int) *Stats {
 		st.ThroughputFPS = 1000 * float64(len(records)) / st.SimulatedDurationMs
 	}
 	return st
-}
-
-// percentile returns the p-quantile of sorted data (nearest-rank).
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }

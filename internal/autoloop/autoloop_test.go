@@ -163,24 +163,3 @@ func TestRunErrors(t *testing.T) {
 		t.Error("zero frames should fail")
 	}
 }
-
-func TestPercentile(t *testing.T) {
-	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if p := percentile(data, 0.5); p != 5 {
-		t.Errorf("p50 = %g", p)
-	}
-	if p := percentile(data, 0.95); p != 10 {
-		t.Errorf("p95 = %g", p)
-	}
-	if p := percentile(nil, 0.5); p != 0 {
-		t.Errorf("empty percentile = %g", p)
-	}
-}
-
-func TestScheduleKeyDistinguishes(t *testing.T) {
-	a := &schedule.Schedule{Assign: [][]int{{0, 0, 1}}}
-	b := &schedule.Schedule{Assign: [][]int{{0, 1, 0}}}
-	if scheduleKey(a) == scheduleKey(b) {
-		t.Error("distinct schedules share a key")
-	}
-}

@@ -249,22 +249,31 @@ func Compare(req Request) (*Comparison, error) {
 	return cmp, nil
 }
 
-// PlanDynamic runs the D-HaX-CoNN flow: start from the best naive schedule
-// and let the anytime solver stream improvements, recording the incumbent
-// history so the runtime can deploy progressively better schedules
-// (Sec. 3.5, Fig. 7).
-func PlanDynamic(req Request) (*solver.Anytime, *schedule.Problem, *schedule.Profile, error) {
+// Prepare resolves and characterizes a request without solving it: the
+// problem statement plus the offline profiling tables. Callers that cache
+// characterizations across repeated workload mixes (internal/serve) use
+// this to pay the profiling cost once per mix.
+func Prepare(req Request) (*schedule.Problem, *schedule.Profile, error) {
 	prob, err := buildProblem(req)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	pr, err := profiler.Characterize(prob, profiler.Options{MaxGroups: req.MaxGroups})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
+	return prob, pr, nil
+}
+
+// AnytimeFromProfile runs the anytime branch & bound on an already
+// characterized problem (from Prepare), seeded with the naive baselines so
+// the incumbent stream starts at a deployable schedule immediately — the
+// plan-from-cache entry point of the serving runtime: a cached profile is
+// re-solved in the background while serving continues on the current best.
+func AnytimeFromProfile(req Request, prob *schedule.Problem, pr *schedule.Profile) (*solver.Anytime, error) {
 	model, err := Model(req)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	cfg := solver.Config{
 		MaxTransitions: req.MaxTransitions,
@@ -272,7 +281,19 @@ func PlanDynamic(req Request) (*solver.Anytime, *schedule.Problem, *schedule.Pro
 		TimeBudget:     req.TimeBudget,
 		Seeds:          []*schedule.Schedule{baselines.NaiveConcurrent(pr), baselines.GPUOnly(pr)},
 	}
-	any, err := solver.RunAnytime(prob, pr, cfg)
+	return solver.RunAnytime(prob, pr, cfg)
+}
+
+// PlanDynamic runs the D-HaX-CoNN flow: start from the best naive schedule
+// and let the anytime solver stream improvements, recording the incumbent
+// history so the runtime can deploy progressively better schedules
+// (Sec. 3.5, Fig. 7).
+func PlanDynamic(req Request) (*solver.Anytime, *schedule.Problem, *schedule.Profile, error) {
+	prob, pr, err := Prepare(req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	any, err := AnytimeFromProfile(req, prob, pr)
 	if err != nil {
 		return nil, nil, nil, err
 	}

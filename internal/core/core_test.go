@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -201,5 +202,40 @@ func TestModelDefaultsToPCCS(t *testing.T) {
 	}
 	if m.Name() != "none" {
 		t.Errorf("override model %q, want none", m.Name())
+	}
+}
+
+func TestPrepareAndAnytimeFromProfile(t *testing.T) {
+	req := Request{
+		Platform:  soc.Orin(),
+		Networks:  []string{"VGG19", "ResNet152"},
+		Objective: schedule.MinMaxLatency,
+	}
+	prob, pr, err := Prepare(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Items) != 2 || len(pr.Groups) != 2 {
+		t.Fatalf("prepared %d items, %d profiled", len(prob.Items), len(pr.Groups))
+	}
+	// Solving from the cached profile must agree with the one-shot flow.
+	any, err := AnytimeFromProfile(req, prob, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(any.History) == 0 || any.Best == nil {
+		t.Fatal("anytime run produced no incumbents")
+	}
+	res, err := Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Measure(prob, pr, any.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cached.MeasuredMs-res.MeasuredMs) > 1e-6 {
+		t.Errorf("plan-from-profile measured %.4f ms, one-shot plan %.4f ms",
+			cached.MeasuredMs, res.MeasuredMs)
 	}
 }

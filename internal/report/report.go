@@ -12,6 +12,7 @@ import (
 
 	"haxconn/internal/experiments"
 	"haxconn/internal/profiler"
+	"haxconn/internal/serve"
 )
 
 // WriteJSON serializes any artifact value as indented JSON.
@@ -129,6 +130,56 @@ func Fig5CSV(w io.Writer, rows []experiments.Fig5Row) error {
 	}
 	for _, r := range rows {
 		if err := c.row(r.Network, r.GPUOnly, r.NaiveFPS, r.MensaFPS, r.HaXFPS, r.ImprPct); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// ServingCSV writes a serving summary: one row per tenant plus a TOTAL
+// row, with latency percentiles, SLO accounting and throughput.
+func ServingCSV(w io.Writer, sum *serve.Summary) error {
+	c := newCSV(w)
+	if err := c.row("policy", "tenant", "network", "offered", "rejected",
+		"completed", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+		"violations", "violation_rate", "throughput_rps"); err != nil {
+		return err
+	}
+	rows := append(append([]serve.TenantStats(nil), sum.Tenants...), sum.Total)
+	for _, ts := range rows {
+		if err := c.row(sum.Policy, ts.Tenant, ts.Network, ts.Offered, ts.Rejected,
+			ts.Completed, ts.MeanMs, ts.P50Ms, ts.P95Ms, ts.P99Ms, ts.MaxMs,
+			ts.Violations, ts.ViolationRate, ts.ThroughputRPS); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// ServingComparisonCSV writes the naive-vs-contention-aware comparison:
+// per-tenant p99 and violation columns for both policies side by side.
+func ServingComparisonCSV(w io.Writer, cmp *serve.Comparison) error {
+	c := newCSV(w)
+	if err := c.row("tenant", "network", "naive_p50_ms", "naive_p99_ms", "naive_violations",
+		"aware_p50_ms", "aware_p99_ms", "aware_violations", "p99_impr_pct"); err != nil {
+		return err
+	}
+	naive := map[string]serve.TenantStats{cmp.Naive.Total.Tenant: cmp.Naive.Total}
+	for _, ts := range cmp.Naive.Tenants {
+		naive[ts.Tenant] = ts
+	}
+	rows := append(append([]serve.TenantStats(nil), cmp.Aware.Tenants...), cmp.Aware.Total)
+	for _, a := range rows {
+		n, ok := naive[a.Tenant]
+		if !ok {
+			return fmt.Errorf("report: tenant %q in the aware summary has no naive counterpart", a.Tenant)
+		}
+		impr := 0.0
+		if n.P99Ms > 0 {
+			impr = 100 * (1 - a.P99Ms/n.P99Ms)
+		}
+		if err := c.row(a.Tenant, a.Network, n.P50Ms, n.P99Ms, n.Violations,
+			a.P50Ms, a.P99Ms, a.Violations, impr); err != nil {
 			return err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"haxconn/internal/experiments"
 	"haxconn/internal/schedule"
+	"haxconn/internal/serve"
 )
 
 func sampleT6() []*experiments.T6Row {
@@ -114,5 +115,53 @@ func TestRealArtifactsSerialize(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "1.1000") {
 		t.Errorf("ratio missing: %s", buf.String())
+	}
+}
+
+func sampleServing(policy serve.Policy) *serve.Summary {
+	return serve.Summarize([]serve.Completion{
+		{Request: serve.Request{Tenant: "alice", Network: "VGG19", SLOMs: 10}, EndMs: 8, LatencyMs: 8},
+		{Request: serve.Request{Tenant: "alice", Network: "VGG19", SLOMs: 10}, EndMs: 14, LatencyMs: 14, Violated: true},
+		{Request: serve.Request{Tenant: "bob", Network: "ResNet152", SLOMs: 12}, EndMs: 9, LatencyMs: 9},
+		{Request: serve.Request{Tenant: "bob", Network: "ResNet152"}, Rejected: true},
+	}, policy, "Orin", schedule.MinMaxLatency)
+}
+
+func TestServingCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ServingCSV(&buf, sampleServing(serve.ContentionAware)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + alice + bob + TOTAL
+	if len(recs) != 4 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1][1] != "alice" || recs[2][1] != "bob" || recs[3][1] != "TOTAL" {
+		t.Errorf("unexpected rows: %v", recs)
+	}
+	if recs[1][0] != "contention-aware" || recs[1][11] != "1" {
+		t.Errorf("alice row: %v", recs[1])
+	}
+}
+
+func TestServingComparisonCSV(t *testing.T) {
+	cmp := &serve.Comparison{Aware: sampleServing(serve.ContentionAware), Naive: sampleServing(serve.NaiveGPUOnly)}
+	var buf bytes.Buffer
+	if err := ServingComparisonCSV(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[3][0] != "TOTAL" {
+		t.Errorf("last row: %v", recs[3])
 	}
 }

@@ -148,6 +148,19 @@ func (s *Schedule) Clone() *Schedule {
 	return c
 }
 
+// Key returns a compact fingerprint of the assignment, usable as a map
+// key for memoizing per-schedule work (frame latencies, evaluations).
+func (s *Schedule) Key() string {
+	b := make([]byte, 0, 64)
+	for _, row := range s.Assign {
+		for _, a := range row {
+			b = append(b, byte('0'+a))
+		}
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
 // Transitions returns the number of inter-accelerator transitions in item i
 // (the TR count of Eq. 3).
 func (s *Schedule) Transitions(i int) int {
@@ -344,6 +357,23 @@ func MinBaseLatencyMs(pr *Profile, i int, iterations int) float64 {
 		one += best
 	}
 	return one * float64(iterations)
+}
+
+// Percentile returns the p-quantile of sorted data (nearest-rank). It is
+// the latency-percentile helper shared by the runtime packages
+// (internal/autoloop, internal/serve).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // QueueingMs quantifies the Eq. 9 constraint residual: the total time

@@ -331,3 +331,24 @@ func TestQueueingMs(t *testing.T) {
 		t.Error("zero epsilon must reject a serialized schedule")
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(data, 0.5); p != 5 {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := Percentile(data, 0.95); p != 10 {
+		t.Errorf("p95 = %g", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %g", p)
+	}
+}
+
+func TestScheduleKeyDistinguishes(t *testing.T) {
+	a := &Schedule{Assign: [][]int{{0, 0, 1}}}
+	b := &Schedule{Assign: [][]int{{0, 1, 0}}}
+	if a.Key() == b.Key() {
+		t.Error("distinct schedules share a key")
+	}
+}

@@ -1,0 +1,188 @@
+// Schedule cache: solved schedules keyed by the active workload mix (the
+// multiset of co-running networks plus the objective), so repeated mixes
+// reuse characterization and solving work. An unseen mix is served on the
+// best naive schedule immediately while the anytime solver's incumbent
+// stream — recorded at miss time, replayed against the virtual clock —
+// upgrades the entry in the background, mirroring how internal/autoloop
+// deploys D-HaX-CoNN incumbents at frame boundaries.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"haxconn/internal/baselines"
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
+	"haxconn/internal/sim"
+	"haxconn/internal/soc"
+	"haxconn/internal/solver"
+)
+
+// CacheConfig controls a schedule cache.
+type CacheConfig struct {
+	Platform  *soc.Platform
+	Objective schedule.Objective
+	// Solve runs the anytime solver on every miss; false caches only the
+	// naive schedule (the NaiveGPUOnly policy needs no solving).
+	Solve bool
+	// SolverTimeScale stretches solver wall time onto the virtual
+	// timeline (see Config.SolverTimeScale). 1 means real time.
+	SolverTimeScale float64
+	// MaxGroups caps layer groups per network.
+	MaxGroups int
+	// TimeBudget bounds each background solve (0 = run to optimality).
+	TimeBudget time.Duration
+}
+
+func (c CacheConfig) scale() float64 {
+	if c.SolverTimeScale <= 0 {
+		return 1
+	}
+	return c.SolverTimeScale
+}
+
+// Cache maps workload mixes to solved schedules and counts its own
+// effectiveness: Hits and Misses count Lookup outcomes, Upgrades counts
+// deployments that advanced to a newer solver incumbent.
+type Cache struct {
+	cfg     CacheConfig
+	entries map[string]*Entry
+
+	Hits     int
+	Misses   int
+	Upgrades int
+}
+
+// Entry is one cached mix: its characterization, the immediate naive
+// schedule, and the background solver's incumbent history.
+type Entry struct {
+	// Key is the cache key (mix + objective).
+	Key string
+	// Networks is the canonical (sorted) workload mix.
+	Networks []string
+	// Prob and Profile are the mix's problem statement and
+	// characterization tables, reused by every round serving this mix.
+	Prob    *schedule.Problem
+	Profile *schedule.Profile
+	// Naive is the single-accelerator greedy schedule, deployable the
+	// instant the miss occurs.
+	Naive *schedule.Schedule
+	// Any is the background solver's run — its incumbent stream drives
+	// upgrades (nil when the cache does not solve).
+	Any *solver.Anytime
+	// CreatedMs is the virtual time of the miss — the background solve
+	// starts then.
+	CreatedMs float64
+
+	cache     *Cache
+	lastSched *schedule.Schedule
+	evals     map[string]*schedule.Eval
+}
+
+// NewCache builds an empty cache.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("serve: cache needs a platform")
+	}
+	return &Cache{cfg: cfg, entries: map[string]*Entry{}}, nil
+}
+
+// Len returns the number of cached mixes.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// mixKey canonicalizes a workload mix into a cache key.
+func (c *Cache) mixKey(networks []string) (string, []string) {
+	canon := append([]string(nil), networks...)
+	sort.Strings(canon)
+	return strings.Join(canon, "+") + "|" + c.cfg.Objective.String(), canon
+}
+
+// Lookup returns the entry for a workload mix, solving it on a miss. The
+// boolean reports whether the mix was already cached. nowMs timestamps a
+// miss so the incumbent replay is anchored to the virtual clock.
+func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
+	if len(networks) == 0 {
+		return nil, false, fmt.Errorf("serve: empty workload mix")
+	}
+	key, canon := c.mixKey(networks)
+	if e, ok := c.entries[key]; ok {
+		c.Hits++
+		return e, true, nil
+	}
+	c.Misses++
+	req := core.Request{
+		Platform:   c.cfg.Platform,
+		Networks:   canon,
+		Objective:  c.cfg.Objective,
+		MaxGroups:  c.cfg.MaxGroups,
+		TimeBudget: c.cfg.TimeBudget,
+	}
+	prob, pr, err := core.Prepare(req)
+	if err != nil {
+		return nil, false, err
+	}
+	e := &Entry{
+		Key:       key,
+		Networks:  canon,
+		Prob:      prob,
+		Profile:   pr,
+		Naive:     baselines.GPUOnly(pr),
+		CreatedMs: nowMs,
+		cache:     c,
+		evals:     map[string]*schedule.Eval{},
+	}
+	if c.cfg.Solve {
+		e.Any, err = core.AnytimeFromProfile(req, prob, pr)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	c.entries[key] = e
+	return e, false, nil
+}
+
+// Use returns the schedule deployed for this entry at virtual time nowMs:
+// the newest solver incumbent whose (scaled) solve time has elapsed since
+// the miss (solver.Anytime.ScheduleAt), or the naive schedule when nothing
+// is solved. Advancing to a newer incumbent than any previous Use counts
+// as a cache upgrade.
+func (e *Entry) Use(nowMs float64) *schedule.Schedule {
+	if e.Any == nil || len(e.Any.History) == 0 {
+		return e.Naive
+	}
+	elapsed := time.Duration((nowMs - e.CreatedMs) / e.cache.cfg.scale() * float64(time.Millisecond))
+	s := e.Any.ScheduleAt(elapsed)
+	if e.lastSched != nil && s != e.lastSched {
+		e.cache.Upgrades++
+	}
+	e.lastSched = s
+	return s
+}
+
+// Best returns the entry's final (best-known) schedule.
+func (e *Entry) Best() *schedule.Schedule {
+	if e.Any == nil || e.Any.Best == nil {
+		return e.Naive
+	}
+	return e.Any.Best
+}
+
+// Evaluate measures a schedule for this mix on the ground-truth simulator,
+// memoizing per schedule — repeated rounds of a cached mix cost a map
+// lookup, not a simulation.
+func (e *Entry) Evaluate(s *schedule.Schedule) (*schedule.Eval, error) {
+	key := s.Key()
+	if ev, ok := e.evals[key]; ok {
+		return ev, nil
+	}
+	gt := sim.GroundTruth{SatBW: e.Prob.Platform.SatBW()}
+	ev, err := schedule.Evaluate(e.Prob, e.Profile, s, gt)
+	if err != nil {
+		return nil, err
+	}
+	e.evals[key] = ev
+	return ev, nil
+}

@@ -1,0 +1,132 @@
+// Metrics layer: per-request completions folded into per-tenant and total
+// serving statistics — latency percentiles, SLO violations, throughput —
+// plus the runtime's cache effectiveness counters.
+package serve
+
+import (
+	"sort"
+
+	"haxconn/internal/schedule"
+)
+
+// totalName labels the aggregate row of a Summary; the load generator
+// rejects it as a tenant name.
+const totalName = "TOTAL"
+
+// Completion is the fate of one request: either served (with timing and
+// SLO accounting) or rejected by the admission controller.
+type Completion struct {
+	Request
+	// StartMs is the dispatch time of the request's round; EndMs its
+	// completion on the simulator.
+	StartMs, EndMs float64
+	// LatencyMs is arrival-to-completion, including queueing delay.
+	LatencyMs float64
+	// Violated marks a served request that missed its SLO.
+	Violated bool
+	// Rejected marks a request the admission controller turned away.
+	Rejected bool
+	// RejectReason explains a rejection ("queue-full", "slo-unattainable").
+	RejectReason string
+}
+
+// TenantStats aggregates one tenant's outcomes.
+type TenantStats struct {
+	Tenant  string
+	Network string // the tenant's network, or "mixed"
+
+	Offered   int // requests submitted
+	Rejected  int
+	Completed int // always Offered - Rejected: every admitted request finishes in virtual time
+
+	MeanMs float64
+	P50Ms  float64
+	P95Ms  float64
+	P99Ms  float64
+	MaxMs  float64
+
+	Violations    int
+	ViolationRate float64 // violations / completed
+	ThroughputRPS float64 // completed per second of virtual time
+}
+
+// Summary is the outcome of serving one trace.
+type Summary struct {
+	Policy    string
+	Platform  string
+	Objective string
+
+	// DurationMs is the virtual makespan of the run (last completion).
+	DurationMs float64
+	// Rounds is the number of dispatch rounds executed.
+	Rounds int
+
+	Tenants []TenantStats // sorted by tenant name
+	Total   TenantStats   // all tenants combined (Tenant = "TOTAL")
+
+	CacheHits     int
+	CacheMisses   int
+	CacheUpgrades int
+	CacheHitRate  float64
+}
+
+// Summarize folds completions into a Summary (cache counters are filled by
+// the runtime). It is exported so SLO-accounting can be tested on
+// hand-built completion sets.
+func Summarize(completions []Completion, policy Policy, platform string, obj schedule.Objective) *Summary {
+	sum := &Summary{Policy: policy.String(), Platform: platform, Objective: obj.String()}
+	byTenant := map[string][]Completion{}
+	for _, c := range completions {
+		byTenant[c.Tenant] = append(byTenant[c.Tenant], c)
+		if c.EndMs > sum.DurationMs {
+			sum.DurationMs = c.EndMs
+		}
+	}
+	names := make([]string, 0, len(byTenant))
+	for name := range byTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sum.Tenants = append(sum.Tenants, tenantStats(name, byTenant[name], sum.DurationMs))
+	}
+	sum.Total = tenantStats(totalName, completions, sum.DurationMs)
+	return sum
+}
+
+func tenantStats(name string, cs []Completion, durationMs float64) TenantStats {
+	st := TenantStats{Tenant: name, Offered: len(cs)}
+	var lats []float64
+	var sumMs float64
+	for _, c := range cs {
+		if st.Network == "" {
+			st.Network = c.Network
+		} else if st.Network != c.Network {
+			st.Network = "mixed"
+		}
+		if c.Rejected {
+			st.Rejected++
+			continue
+		}
+		st.Completed++
+		lats = append(lats, c.LatencyMs)
+		sumMs += c.LatencyMs
+		if c.Violated {
+			st.Violations++
+		}
+	}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Float64s(lats)
+	st.MeanMs = sumMs / float64(len(lats))
+	st.P50Ms = schedule.Percentile(lats, 0.50)
+	st.P95Ms = schedule.Percentile(lats, 0.95)
+	st.P99Ms = schedule.Percentile(lats, 0.99)
+	st.MaxMs = lats[len(lats)-1]
+	st.ViolationRate = float64(st.Violations) / float64(st.Completed)
+	if durationMs > 0 {
+		st.ThroughputRPS = 1000 * float64(st.Completed) / durationMs
+	}
+	return st
+}

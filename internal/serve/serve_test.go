@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func twoTenants() []TenantSpec {
+	return []TenantSpec{
+		{Name: "alice", Network: "VGG19", RateRPS: 140, SLOMs: 10},
+		{Name: "bob", Network: "ResNet152", RateRPS: 140, SLOMs: 12},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(twoTenants(), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(twoTenants(), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different trace lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Generate(twoTenants(), 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].ArrivalMs != c[i].ArrivalMs {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+	for i, r := range a {
+		if r.ID != i {
+			t.Errorf("request %d has ID %d", i, r.ID)
+		}
+		if r.ArrivalMs < 0 || r.ArrivalMs >= 500 {
+			t.Errorf("request %d arrives at %g, outside [0, 500)", i, r.ArrivalMs)
+		}
+		if i > 0 && a[i-1].ArrivalMs > r.ArrivalMs {
+			t.Errorf("trace not sorted at %d", i)
+		}
+	}
+
+	// Arrival streams are keyed by tenant name: reordering the specs must
+	// not perturb any tenant's arrivals.
+	specs := twoTenants()
+	specs[0], specs[1] = specs[1], specs[0]
+	d, err := Generate(specs, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := func(tr Trace, tenant string) []float64 {
+		var out []float64
+		for _, r := range tr {
+			if r.Tenant == tenant {
+				out = append(out, r.ArrivalMs)
+			}
+		}
+		return out
+	}
+	for _, tenant := range []string{"alice", "bob"} {
+		av, dv := arrivals(a, tenant), arrivals(d, tenant)
+		if len(av) != len(dv) {
+			t.Fatalf("%s: %d vs %d arrivals after spec reorder", tenant, len(av), len(dv))
+		}
+		for i := range av {
+			if av[i] != dv[i] {
+				t.Fatalf("%s arrival %d moved after spec reorder: %g vs %g", tenant, i, av[i], dv[i])
+			}
+		}
+	}
+}
+
+func TestGeneratePeriodic(t *testing.T) {
+	tr, err := Generate([]TenantSpec{
+		{Name: "cam", Network: "VGG19", PeriodMs: 100, PhaseMs: 5, SLOMs: 50},
+	}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 10 {
+		t.Fatalf("want 10 periodic arrivals, got %d", len(tr))
+	}
+	for i, r := range tr {
+		want := 5 + 100*float64(i)
+		if math.Abs(r.ArrivalMs-want) > 1e-9 {
+			t.Errorf("arrival %d at %g, want %g", i, r.ArrivalMs, want)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []TenantSpec
+		durMs float64
+	}{
+		{"no specs", nil, 100},
+		{"bad duration", twoTenants(), 0},
+		{"unknown network", []TenantSpec{{Name: "x", Network: "NoSuchNet", RateRPS: 10}}, 100},
+		{"rate and period", []TenantSpec{{Name: "x", Network: "VGG19", RateRPS: 10, PeriodMs: 10}}, 100},
+		{"neither rate nor period", []TenantSpec{{Name: "x", Network: "VGG19"}}, 100},
+		{"duplicate tenant", []TenantSpec{
+			{Name: "x", Network: "VGG19", RateRPS: 10},
+			{Name: "x", Network: "ResNet152", RateRPS: 10},
+		}, 100},
+		{"reserved tenant name", []TenantSpec{{Name: "TOTAL", Network: "VGG19", RateRPS: 10}}, 100},
+	}
+	for _, tc := range cases {
+		if _, err := Generate(tc.specs, tc.durMs, 1); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestCacheHitMissAndUpgrade(t *testing.T) {
+	// A huge SolverTimeScale pins early Use calls to the first incumbent
+	// (the naive seed) and releases later incumbents as virtual time
+	// advances, making the upgrade path observable.
+	cache, err := NewCache(CacheConfig{
+		Platform:        soc.Orin(),
+		Objective:       schedule.MinMaxLatency,
+		Solve:           true,
+		SolverTimeScale: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, hit, err := cache.Lookup([]string{"VGG19", "ResNet152"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first lookup reported a hit")
+	}
+	// Mix keys are order-insensitive: the reversed mix must hit.
+	e2, hit, err := cache.Lookup([]string{"ResNet152", "VGG19"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || e2 != e1 {
+		t.Error("reordered mix did not hit the same entry")
+	}
+	if cache.Hits != 1 || cache.Misses != 1 || cache.Len() != 1 {
+		t.Errorf("hits=%d misses=%d len=%d, want 1/1/1", cache.Hits, cache.Misses, cache.Len())
+	}
+	if e1.Any == nil || len(e1.Any.History) < 2 {
+		t.Fatal("anytime history needs >= 2 incumbents to observe an upgrade")
+	}
+
+	early := e1.Use(0)
+	if cache.Upgrades != 0 {
+		t.Errorf("upgrade counted at t=0")
+	}
+	late := e1.Use(1e12) // far enough for every incumbent to have landed
+	if cache.Upgrades == 0 {
+		t.Error("no upgrade counted after the full incumbent stream elapsed")
+	}
+	evEarly, err := e1.Evaluate(early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evLate, err := e1.Evaluate(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evLate.MakespanMs > evEarly.MakespanMs+1e-9 {
+		t.Errorf("upgraded schedule is worse: %.3f ms vs %.3f ms", evLate.MakespanMs, evEarly.MakespanMs)
+	}
+
+	// A naive-only cache records no history and never upgrades.
+	nc, err := NewCache(CacheConfig{Platform: soc.Orin(), Solve: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, _, err := nc.Lookup([]string{"VGG19"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Any != nil || ne.Use(1e12) != ne.Naive || nc.Upgrades != 0 {
+		t.Error("naive-only cache entry should always deploy the naive schedule")
+	}
+}
+
+func TestSLOAccounting(t *testing.T) {
+	mk := func(tenant string, lat float64, violated, rejected bool) Completion {
+		c := Completion{Request: Request{Tenant: tenant, Network: "VGG19", SLOMs: 10}}
+		if rejected {
+			c.Rejected = true
+			return c
+		}
+		c.LatencyMs = lat
+		c.EndMs = lat
+		c.Violated = violated
+		return c
+	}
+	cases := []struct {
+		name           string
+		completions    []Completion
+		wantOffered    int
+		wantCompleted  int
+		wantRejected   int // Completed must equal Offered - Rejected
+		wantViolations int
+		wantRate       float64
+		wantP50        float64
+		wantP99        float64
+	}{
+		{
+			name: "all within SLO",
+			completions: []Completion{
+				mk("a", 1, false, false), mk("a", 2, false, false),
+				mk("a", 3, false, false), mk("a", 4, false, false),
+			},
+			wantOffered: 4, wantCompleted: 4,
+			wantP50: 2, wantP99: 4,
+		},
+		{
+			name: "half violated",
+			completions: []Completion{
+				mk("a", 5, false, false), mk("a", 15, true, false),
+				mk("a", 6, false, false), mk("a", 20, true, false),
+			},
+			wantOffered: 4, wantCompleted: 4, wantViolations: 2, wantRate: 0.5,
+			wantP50: 6, wantP99: 20,
+		},
+		{
+			name: "rejections excluded from latency stats",
+			completions: []Completion{
+				mk("a", 8, false, false),
+				mk("a", 0, false, true),
+				mk("a", 0, false, true),
+			},
+			wantOffered: 3, wantCompleted: 1, wantRejected: 2,
+			wantP50: 8, wantP99: 8,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sum := Summarize(tc.completions, ContentionAware, "Orin", schedule.MinMaxLatency)
+			tot := sum.Total
+			if tot.Offered != tc.wantOffered || tot.Completed != tc.wantCompleted || tot.Rejected != tc.wantRejected {
+				t.Errorf("offered/completed/rejected = %d/%d/%d, want %d/%d/%d",
+					tot.Offered, tot.Completed, tot.Rejected, tc.wantOffered, tc.wantCompleted, tc.wantRejected)
+			}
+			if tot.Violations != tc.wantViolations {
+				t.Errorf("violations = %d, want %d", tot.Violations, tc.wantViolations)
+			}
+			if math.Abs(tot.ViolationRate-tc.wantRate) > 1e-9 {
+				t.Errorf("violation rate = %g, want %g", tot.ViolationRate, tc.wantRate)
+			}
+			if tot.P50Ms != tc.wantP50 || tot.P99Ms != tc.wantP99 {
+				t.Errorf("p50/p99 = %g/%g, want %g/%g", tot.P50Ms, tot.P99Ms, tc.wantP50, tc.wantP99)
+			}
+			if len(sum.Tenants) != 1 || sum.Tenants[0].Tenant != "a" {
+				t.Errorf("tenant breakdown = %+v", sum.Tenants)
+			}
+		})
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	// A burst of simultaneous arrivals against MaxQueue=1 must shed load.
+	var tr Trace
+	for i := 0; i < 8; i++ {
+		tr = append(tr, Request{ID: i, Tenant: "burst", Network: "VGG19", ArrivalMs: 0, SLOMs: 100})
+	}
+	rt, err := New(Config{Platform: soc.Orin(), Policy: NaiveGPUOnly, MaxQueue: 1, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total.Rejected == 0 {
+		t.Error("MaxQueue=1 rejected nothing from an 8-request burst")
+	}
+	if sum.Total.Completed+sum.Total.Rejected != len(tr) {
+		t.Errorf("completed %d + rejected %d != offered %d", sum.Total.Completed, sum.Total.Rejected, len(tr))
+	}
+}
+
+// TestServeComparison is the acceptance demo: a two-tenant Poisson trace
+// over VGG19 + ResNet152 on Orin, where the contention-aware runtime must
+// beat the naive single-accelerator baseline on p99 latency and SLO
+// violations while the schedule cache shows hits on repeated mixes.
+func TestServeComparison(t *testing.T) {
+	tr, err := Generate(twoTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(Config{Platform: soc.Orin(), SolverTimeScale: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, naive := cmp.Aware.Total, cmp.Naive.Total
+	if aware.P99Ms >= naive.P99Ms {
+		t.Errorf("contention-aware p99 %.2f ms not better than naive %.2f ms", aware.P99Ms, naive.P99Ms)
+	}
+	if aware.Violations >= naive.Violations {
+		t.Errorf("contention-aware violations %d not fewer than naive %d", aware.Violations, naive.Violations)
+	}
+	if cmp.Aware.CacheHits == 0 {
+		t.Error("schedule cache shows no hits on repeated workload mixes")
+	}
+	if cmp.Aware.Total.Completed != cmp.Naive.Total.Completed {
+		t.Errorf("policies served different request counts: %d vs %d",
+			cmp.Aware.Total.Completed, cmp.Naive.Total.Completed)
+	}
+	t.Logf("aware p99=%.2f viol=%d | naive p99=%.2f viol=%d | hits=%d upgrades=%d",
+		aware.P99Ms, aware.Violations, naive.P99Ms, naive.Violations,
+		cmp.Aware.CacheHits, cmp.Aware.CacheUpgrades)
+}
