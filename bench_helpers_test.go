@@ -1,6 +1,61 @@
 package haxconn
 
-import "haxconn/internal/sat"
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+
+	"haxconn/internal/sat"
+)
+
+// benchRecords collects the metrics of every regression benchmark that ran
+// (see bench_fleet_test.go); TestMain serializes them to BENCH_fleet.json
+// so perf runs leave a diffable artifact next to the committed baseline.
+var benchRecords = map[string]map[string]float64{}
+
+// reportAndRecord reports each metric on the benchmark result line and
+// stages it for BENCH_fleet.json.
+func reportAndRecord(b *testing.B, name string, metrics map[string]float64) {
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(metrics[k], k)
+	}
+	benchRecords[name] = metrics
+}
+
+// benchJSONPath is the perf-trajectory artifact at the repo root.
+const benchJSONPath = "BENCH_fleet.json"
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 && len(benchRecords) > 0 {
+		if err := writeBenchJSON(); err != nil {
+			os.Stderr.WriteString("writing " + benchJSONPath + ": " + err.Error() + "\n")
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchJSON() error {
+	out := struct {
+		Note       string                        `json:"note"`
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	}{
+		Note:       "regression baseline for solver incumbent quality and fleet throughput; regenerate with: go test -bench 'Fleet|IncumbentQuality' -benchtime=1x .",
+		Benchmarks: benchRecords,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(benchJSONPath, append(b, '\n'), 0o644)
+}
 
 // newPigeonhole encodes the pigeonhole principle PHP(n+1, n) — UNSAT and a
 // classic clause-learning workout.

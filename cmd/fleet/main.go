@@ -1,0 +1,283 @@
+// Command fleet shards multi-tenant inference traffic across a pool of
+// SoC serving devices and reports fleet-level latency percentiles, SLO
+// attainment, per-device load and schedule-cache effectiveness.
+//
+// The pool is specified as comma-separated platform[:count] entries, so
+// "Orin:2,Xavier,SD865" is two Orins, one Xavier and one Snapdragon 865.
+// Tenants are specified as name:network:rate:slo exactly as in cmd/serve.
+//
+// Modes:
+//
+//   - serve:   run the fleet once under -placement and print the summary.
+//   - compare: serve the identical trace on a single SoC (the pool's first
+//     platform) and on the fleet under every placement policy — the
+//     scale-out win and the policy-vs-policy differences on one trace.
+//
+// Examples:
+//
+//	fleet                                 # Orin+Xavier+SD865, compare mode
+//	fleet -devices Orin:4 -placement least-loaded -mode serve
+//	fleet -devices Orin,Xavier -tenants "cam:VGG19:200:10,lidar:ResNet101:80:25" -csv out.csv
+//	fleet -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"haxconn/internal/fleet"
+	"haxconn/internal/nn"
+	"haxconn/internal/report"
+	"haxconn/internal/schedule"
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	var (
+		devices   = flag.String("devices", "Orin,Xavier,SD865", "device pool as platform[:count], comma-separated")
+		placement = flag.String("placement", "least-loaded", "placement policy: "+strings.Join(fleet.Placements(), ", "))
+		tenants   = flag.String("tenants", "alice:VGG19:140:10,bob:ResNet152:140:12", "tenant specs as name:network:rate:slo, comma-separated")
+		arrivals  = flag.String("arrivals", "poisson", "arrival process: poisson (rate = req/s) or periodic (rate = period ms)")
+		duration  = flag.Float64("duration", 1000, "trace duration in virtual ms")
+		seed      = flag.Int64("seed", 1, "load-generator seed")
+		mode      = flag.String("mode", "compare", "fleet mode: serve or compare")
+		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
+		policy    = flag.String("policy", "aware", "per-device serving policy: aware or naive")
+		maxBatch  = flag.Int("maxbatch", 0, "max concurrent requests per device dispatch round (default: #accelerators)")
+		maxQueue  = flag.Int("maxqueue", 0, "per-tenant pending-queue cap per device; 0 = unlimited")
+		admitSLO  = flag.Float64("admitslo", 0, "reject requests whose estimated latency exceeds this factor x SLO; 0 = admit all")
+		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see cmd/serve)")
+		private   = flag.Bool("privatecaches", false, "give each device its own schedule cache instead of sharing per platform")
+		csvOut    = flag.String("csv", "", "write the fleet summary (or comparison) as CSV to this file")
+		jsonOut   = flag.String("json", "", "write the full summary (or comparison) as JSON to this file")
+		list      = flag.Bool("list", false, "list available networks, platforms and placements, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("networks:  ", strings.Join(nn.Names(), ", "))
+		names := []string{}
+		for _, p := range soc.Platforms() {
+			names = append(names, p.Name)
+		}
+		fmt.Println("platforms: ", strings.Join(names, ", "))
+		fmt.Println("placements:", strings.Join(fleet.Placements(), ", "))
+		return
+	}
+	specs, err := parseTenants(*tenants, *arrivals)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, err := serve.Generate(specs, *duration, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pool, err := parseDevices(*devices)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := fleet.Config{
+		Devices:         pool,
+		MaxBatch:        *maxBatch,
+		MaxQueue:        *maxQueue,
+		AdmitSLOFactor:  *admitSLO,
+		SolverTimeScale: *scale,
+		PrivateCaches:   *private,
+	}
+	switch *objective {
+	case "latency":
+		cfg.Objective = schedule.MinMaxLatency
+	case "fps":
+		cfg.Objective = schedule.MaxThroughput
+	default:
+		fatalf("unknown objective %q", *objective)
+	}
+	switch *policy {
+	case "aware":
+		cfg.Policy = serve.ContentionAware
+	case "naive":
+		cfg.Policy = serve.NaiveGPUOnly
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+
+	nDev := 0
+	for _, d := range pool {
+		n := d.Count
+		if n == 0 {
+			n = 1
+		}
+		nDev += n
+	}
+	fmt.Printf("dispatching %d requests from %d tenants over %d devices (%s, %s arrivals, %.0f ms)\n\n",
+		len(tr), len(specs), nDev, *devices, *arrivals, *duration)
+
+	switch *mode {
+	case "serve":
+		pl, err := fleet.NewPlacer(*placement)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Placement = pl
+		f, err := fleet.New(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printFleet(sum)
+		writeOutputs(*csvOut, *jsonOut,
+			func(f *os.File) error { return report.FleetCSV(f, sum) }, sum)
+	case "compare":
+		cmp, err := fleet.Compare(cfg, tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printComparison(cmp)
+		writeOutputs(*csvOut, *jsonOut,
+			func(f *os.File) error { return report.FleetComparisonCSV(f, cmp) }, cmp)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+// parseDevices parses comma-separated platform[:count] specs.
+func parseDevices(s string) ([]fleet.DeviceSpec, error) {
+	var specs []fleet.DeviceSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		spec := fleet.DeviceSpec{Platform: part}
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			n, err := strconv.Atoi(part[i+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("device spec %q: bad count", part)
+			}
+			spec.Platform, spec.Count = part[:i], n
+		}
+		if spec.Platform == "" {
+			return nil, fmt.Errorf("device spec %q: no platform", part)
+		}
+		if _, ok := soc.PlatformByName(spec.Platform); !ok {
+			return nil, fmt.Errorf("unknown platform %q (see -list)", spec.Platform)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no device specs in %q", s)
+	}
+	return specs, nil
+}
+
+func printFleet(sum *fleet.Summary) {
+	fmt.Printf("== fleet %s | placement %s | policy %s ==\n", sum.Pool, sum.Placement, sum.Policy)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "device\tplatform\tplaced\trejected\tcompleted\tp50\tp95\tp99\tviol\treq/s\tcache h/m/u")
+	for _, ds := range sum.Devices {
+		ts := ds.Summary.Total
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%d\t%.1f\t%d/%d/%d\n",
+			ds.Device, ds.Platform, ds.Placed, ts.Rejected, ts.Completed,
+			ts.P50Ms, ts.P95Ms, ts.P99Ms, ts.Violations, ts.ThroughputRPS,
+			ds.Summary.CacheHits, ds.Summary.CacheMisses, ds.Summary.CacheUpgrades)
+	}
+	tot := sum.Total
+	fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%d\t%.1f\t\n",
+		tot.Tenant, "fleet", tot.Offered, tot.Rejected, tot.Completed,
+		tot.P50Ms, tot.P95Ms, tot.P99Ms, tot.Violations, tot.ThroughputRPS)
+	tw.Flush()
+	for _, cs := range sum.Caches {
+		fmt.Printf("cache[%s] (%s): %d mixes, %d hits / %d misses (%.1f%% hit rate), %d upgrades\n",
+			cs.Platform, strings.Join(cs.Devices, ","), cs.Entries, cs.Hits, cs.Misses, 100*cs.HitRate, cs.Upgrades)
+	}
+	fmt.Printf("rounds=%d  SLO attainment: %.1f%%\n\n", sum.Rounds, sum.SLOAttainmentPct)
+}
+
+func printComparison(cmp *fleet.Comparison) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tpool\tp50\tp99\tviol\treq/s\tSLO att.\tp99 vs single\tviol avoided")
+	st := cmp.Single.Total
+	fmt.Fprintf(tw, "single:%s\t%s\t%.2f\t%.2f\t%d\t%.1f\t%.1f%%\t\t\n",
+		cmp.SinglePlatform, cmp.SinglePlatform, st.P50Ms, st.P99Ms, st.Violations, st.ThroughputRPS, st.SLOAttainmentPct())
+	for _, fs := range cmp.Fleets {
+		ft := fs.Total
+		fmt.Fprintf(tw, "fleet:%s\t%s\t%.2f\t%.2f\t%d\t%.1f\t%.1f%%\t%+.1f%%\t%+d\n",
+			fs.Placement, fs.Pool, ft.P50Ms, ft.P99Ms, ft.Violations, ft.ThroughputRPS,
+			fs.SLOAttainmentPct, cmp.P99ImprovementPct(fs), cmp.ViolationsAvoided(fs))
+	}
+	tw.Flush()
+	best := cmp.Best()
+	fmt.Printf("\nbest placement: %s — p99 %.2f ms vs single-SoC %.2f ms (%.1f%% better), %d SLO violations avoided\n",
+		best.Placement, best.Total.P99Ms, cmp.Single.Total.P99Ms,
+		cmp.P99ImprovementPct(best), cmp.ViolationsAvoided(best))
+}
+
+func writeOutputs(csvPath, jsonPath string, writeCSV func(*os.File) error, v any) {
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := writeCSV(f); err != nil {
+			fatalf("writing %s: %v", csvPath, err)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f, v); err != nil {
+			fatalf("writing %s: %v", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// parseTenants parses comma-separated name:network:rate:slo specs (the
+// cmd/serve format).
+func parseTenants(s, arrivals string) ([]serve.TenantSpec, error) {
+	if arrivals != "poisson" && arrivals != "periodic" {
+		return nil, fmt.Errorf("unknown arrival process %q", arrivals)
+	}
+	var specs []serve.TenantSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
+		}
+		slo, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
+		}
+		sp := serve.TenantSpec{Name: fields[0], Network: fields[1], SLOMs: slo}
+		if arrivals == "poisson" {
+			sp.RateRPS = rate
+		} else {
+			sp.PeriodMs = rate
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+func fatalf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasPrefix(msg, "fleet: ") {
+		msg = "fleet: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

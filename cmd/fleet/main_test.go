@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"haxconn/internal/fleet"
+	"haxconn/internal/serve"
+)
+
+func TestParseDevices(t *testing.T) {
+	specs, err := parseDevices("Orin:2, Xavier ,SD865")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fleet.DeviceSpec{
+		{Platform: "Orin", Count: 2}, {Platform: "Xavier"}, {Platform: "SD865"},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs", len(specs))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "Orin:0", "Orin:x", ":2"} {
+		if _, err := parseDevices(bad); err == nil {
+			t.Errorf("parseDevices(%q): expected error", bad)
+		}
+	}
+}
+
+// TestCompareModeDefaults is the CLI-level acceptance check: -mode compare
+// with the default three-device Orin+Xavier+SD865 pool and the default
+// two-tenant trace must show least-loaded or affinity beating single-SoC
+// serving on fleet p99 latency and SLO violations.
+func TestCompareModeDefaults(t *testing.T) {
+	specs, err := parseTenants("alice:VGG19:140:10,bob:ResNet152:140:12", "poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := serve.Generate(specs, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := parseDevices("Orin,Xavier,SD865")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := fleet.Compare(fleet.Config{Devices: pool, SolverTimeScale: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won := false
+	for _, fs := range cmp.Fleets {
+		if fs.Placement != "least-loaded" && fs.Placement != "affinity" {
+			continue
+		}
+		if fs.Total.P99Ms < cmp.Single.Total.P99Ms && fs.Total.Violations < cmp.Single.Total.Violations {
+			won = true
+			t.Logf("%s beats single-%s: p99 %.2f < %.2f ms, violations %d < %d",
+				fs.Placement, cmp.SinglePlatform, fs.Total.P99Ms, cmp.Single.Total.P99Ms,
+				fs.Total.Violations, cmp.Single.Total.Violations)
+		}
+	}
+	if !won {
+		t.Error("no load-aware placement beat the single SoC on p99 and violations")
+	}
+}

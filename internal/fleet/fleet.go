@@ -1,0 +1,336 @@
+// Package fleet shards multi-tenant inference traffic across a pool of
+// SoC serving devices — the production-scale follow-on to internal/serve's
+// single-SoC runtime. A Fleet owns N serve.Runtime instances (heterogeneous
+// pools of Orin, Xavier and SD865 devices are the expected shape), places
+// each arriving request on a device through a pluggable placement policy,
+// and interleaves the devices' dispatch rounds in one shared virtual
+// timeline via the serve.Device stepping interface.
+//
+// Devices of the same platform share one schedule cache: a workload mix
+// solved on one Orin warms every Orin in the pool, so the fleet pays each
+// mix's characterization and solver cost once per platform rather than
+// once per device — the semi-isolated-instances-with-a-shared-solution-
+// medium structure, applied to schedules instead of populations.
+//
+// Placement policies (see Placer): round-robin spreads blindly,
+// least-loaded tracks queue depth and device availability in virtual time,
+// and affinity routes each network to the device whose profile serves it
+// fastest, falling back on load. Compare serves the same trace on a single
+// SoC and on the fleet under every policy, quantifying both the scale-out
+// win and the policy-vs-policy differences.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"haxconn/internal/schedule"
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+// DeviceSpec requests Count devices of one platform in the pool.
+type DeviceSpec struct {
+	// Platform is a soc.PlatformByName name ("Orin", "Xavier", "SD865").
+	Platform string
+	// Count is the number of devices of this platform (default 1).
+	Count int
+}
+
+// Config controls a fleet dispatcher.
+type Config struct {
+	// Devices describes the pool (required, at least one device).
+	Devices []DeviceSpec
+	// Placement chooses a device for each arrival (default RoundRobin).
+	Placement Placer
+	// Policy is the per-device serving policy (contention-aware or naive).
+	Policy serve.Policy
+	// Objective is the per-mix scheduling objective (default MinMaxLatency).
+	Objective schedule.Objective
+	// MaxBatch, MaxQueue, AdmitSLOFactor, SolverTimeScale and MaxGroups
+	// are passed through to every device; see serve.Config.
+	MaxBatch        int
+	MaxQueue        int
+	AdmitSLOFactor  float64
+	SolverTimeScale float64
+	MaxGroups       int
+	// PrivateCaches gives every device its own schedule cache instead of
+	// sharing one per platform (for measuring what sharing is worth).
+	PrivateCaches bool
+}
+
+// Fleet is the dispatcher: a device pool, a placement policy, and the
+// per-platform shared schedule caches.
+type Fleet struct {
+	cfg     Config
+	devices []serve.Device
+	placer  Placer
+	caches  map[string]*serve.Cache // platform name -> shared cache
+	placed  []int                   // requests routed to each device
+}
+
+// New validates the configuration and builds the pool. Devices are named
+// "<platform>/<i>" with i counting per platform across the whole pool.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("fleet: no device specs")
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = RoundRobin()
+	}
+	f := &Fleet{cfg: cfg, placer: cfg.Placement, caches: map[string]*serve.Cache{}}
+	perPlatform := map[string]int{}
+	for _, spec := range cfg.Devices {
+		count := spec.Count
+		if count == 0 {
+			count = 1
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("fleet: negative device count for %q", spec.Platform)
+		}
+		p, ok := soc.PlatformByName(spec.Platform)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown platform %q", spec.Platform)
+		}
+		var shared *serve.Cache
+		if !cfg.PrivateCaches {
+			if c, ok := f.caches[p.Name]; ok {
+				shared = c
+			} else {
+				c, err := serve.NewCache(serve.CacheConfig{
+					Platform:        p,
+					Objective:       cfg.Objective,
+					Solve:           cfg.Policy == serve.ContentionAware,
+					SolverTimeScale: cfg.SolverTimeScale,
+					MaxGroups:       cfg.MaxGroups,
+				})
+				if err != nil {
+					return nil, err
+				}
+				f.caches[p.Name] = c
+				shared = c
+			}
+		}
+		for i := 0; i < count; i++ {
+			rt, err := serve.New(serve.Config{
+				Platform:        p,
+				Name:            fmt.Sprintf("%s/%d", p.Name, perPlatform[p.Name]),
+				Objective:       cfg.Objective,
+				Policy:          cfg.Policy,
+				MaxBatch:        cfg.MaxBatch,
+				MaxQueue:        cfg.MaxQueue,
+				AdmitSLOFactor:  cfg.AdmitSLOFactor,
+				SolverTimeScale: cfg.SolverTimeScale,
+				MaxGroups:       cfg.MaxGroups,
+				SharedCache:     shared,
+			})
+			if err != nil {
+				return nil, err
+			}
+			perPlatform[p.Name]++
+			f.devices = append(f.devices, rt)
+		}
+	}
+	f.placed = make([]int, len(f.devices))
+	return f, nil
+}
+
+// Devices exposes the pool (for inspection and tests).
+func (f *Fleet) Devices() []serve.Device { return f.devices }
+
+// Pool describes the pool compactly ("Orin+Orin+Xavier+SD865").
+func (f *Fleet) Pool() string {
+	names := make([]string, len(f.devices))
+	for i, d := range f.devices {
+		names[i] = d.Platform().Name
+	}
+	return strings.Join(names, "+")
+}
+
+// views snapshots the pool state a placement decision steers by. A
+// load-blind placer gets identity-only views: the backlog and standalone
+// estimates cost an O(queue) scan per device per arrival, and round-robin
+// would throw them away.
+func (f *Fleet) views(req serve.Request) ([]DeviceView, error) {
+	views := make([]DeviceView, len(f.devices))
+	if !f.placer.LoadAware() {
+		for i, d := range f.devices {
+			views[i] = DeviceView{Index: i, Name: d.Name(), Platform: d.Platform().Name}
+		}
+		return views, nil
+	}
+	for i, d := range f.devices {
+		backlog, err := d.BacklogMs()
+		if err != nil {
+			return nil, err
+		}
+		// An unknown network has no profile on any device; placement is
+		// load-only and the chosen device's admission rejects it.
+		standalone, err := d.StandaloneMs(req.Network)
+		if err != nil {
+			standalone = 0
+		}
+		views[i] = DeviceView{
+			Index:        i,
+			Name:         d.Name(),
+			Platform:     d.Platform().Name,
+			QueueDepth:   d.QueueDepth(),
+			FreeAtMs:     d.ClockMs(),
+			BacklogMs:    backlog,
+			StandaloneMs: standalone,
+		}
+	}
+	return views, nil
+}
+
+// Serve executes the trace across the pool in one shared virtual timeline
+// and returns the fleet summary. Events are processed in time order:
+// arrivals are placed on a device (and judged by its admission controller)
+// the moment they arrive, and whichever device can start a round earliest
+// steps next. The trace may be unsorted. Serve rewinds every device first,
+// so repeated calls serve independent runs over warm schedule caches.
+func (f *Fleet) Serve(tr serve.Trace) (*Summary, error) {
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("fleet: empty trace")
+	}
+	for _, d := range f.devices {
+		d.Reset()
+	}
+	for _, c := range f.caches {
+		c.Rewind()
+	}
+	f.placer.Reset()
+	f.placed = make([]int, len(f.devices))
+
+	reqs := append(serve.Trace(nil), tr...)
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].ArrivalMs < reqs[j].ArrivalMs })
+
+	next := 0
+	for {
+		// The earliest device round start; ties go to the lowest index so
+		// the interleaving is deterministic.
+		di, tDev := -1, 0.0
+		for i, d := range f.devices {
+			if s := d.NextStartMs(); di < 0 || s < tDev {
+				di, tDev = i, s
+			}
+		}
+		// Arrivals at or before the next round boundary are placed first,
+		// mirroring the single-device loop's admit-then-dispatch order.
+		if next < len(reqs) && reqs[next].ArrivalMs <= tDev {
+			req := reqs[next]
+			next++
+			views, err := f.views(req)
+			if err != nil {
+				return nil, err
+			}
+			j := f.placer.Place(req, views)
+			if j < 0 || j >= len(f.devices) {
+				return nil, fmt.Errorf("fleet: placement %s chose device %d of %d", f.placer.Name(), j, len(f.devices))
+			}
+			if _, err := f.devices[j].Offer(req); err != nil {
+				return nil, err
+			}
+			f.placed[j]++
+			continue
+		}
+		if di < 0 || f.devices[di].QueueDepth() == 0 {
+			break // no arrivals left, every device drained
+		}
+		if err := f.devices[di].Step(); err != nil {
+			return nil, err
+		}
+	}
+	return f.summarize(), nil
+}
+
+// Comparison holds one trace served on a single SoC and on the fleet under
+// several placement policies.
+type Comparison struct {
+	// Single is the single-SoC baseline: the whole trace on one device of
+	// SinglePlatform under the same serving policy and knobs.
+	Single         *serve.Summary
+	SinglePlatform string
+	// Fleets holds one fleet summary per placement policy, in the order
+	// the policies were given.
+	Fleets []*Summary
+}
+
+// Compare serves the same trace on a single SoC of the pool's first
+// platform and on the fleet under each placement policy. It quantifies
+// both the scale-out win (fleet vs. one SoC) and policy-vs-policy
+// differences on identical traffic.
+func Compare(cfg Config, tr serve.Trace, placements ...Placer) (*Comparison, error) {
+	if len(placements) == 0 {
+		placements = []Placer{RoundRobin(), LeastLoaded(), Affinity()}
+	}
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("fleet: no device specs")
+	}
+	p, ok := soc.PlatformByName(cfg.Devices[0].Platform)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown platform %q", cfg.Devices[0].Platform)
+	}
+	single, err := serve.New(serve.Config{
+		Platform:        p,
+		Objective:       cfg.Objective,
+		Policy:          cfg.Policy,
+		MaxBatch:        cfg.MaxBatch,
+		MaxQueue:        cfg.MaxQueue,
+		AdmitSLOFactor:  cfg.AdmitSLOFactor,
+		SolverTimeScale: cfg.SolverTimeScale,
+		MaxGroups:       cfg.MaxGroups,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum, err := single.Serve(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := &Comparison{Single: sum, SinglePlatform: p.Name}
+	for _, pl := range placements {
+		c := cfg
+		c.Placement = pl
+		fl, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		fsum, err := fl.Serve(tr)
+		if err != nil {
+			return nil, err
+		}
+		out.Fleets = append(out.Fleets, fsum)
+	}
+	return out, nil
+}
+
+// Best returns the fleet summary with the lowest total p99 latency
+// (ties: fewer SLO violations, then earlier in the list).
+func (c *Comparison) Best() *Summary {
+	var best *Summary
+	for _, f := range c.Fleets {
+		if best == nil ||
+			f.Total.P99Ms < best.Total.P99Ms ||
+			(f.Total.P99Ms == best.Total.P99Ms && f.Total.Violations < best.Total.Violations) {
+			best = f
+		}
+	}
+	return best
+}
+
+// P99ImprovementPct is a fleet's p99 latency reduction over the single-SoC
+// baseline, in percent (positive = fleet is better).
+func (c *Comparison) P99ImprovementPct(f *Summary) float64 {
+	if c.Single.Total.P99Ms <= 0 {
+		return 0
+	}
+	return 100 * (1 - f.Total.P99Ms/c.Single.Total.P99Ms)
+}
+
+// ViolationsAvoided is a fleet's reduction in SLO violations over the
+// single-SoC baseline.
+func (c *Comparison) ViolationsAvoided(f *Summary) int {
+	return c.Single.Total.Violations - f.Total.Violations
+}

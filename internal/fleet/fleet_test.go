@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+// defaultTrace is the repo's canonical two-tenant demo trace (the same one
+// cmd/serve and cmd/fleet default to).
+func defaultTrace(t *testing.T) serve.Trace {
+	t.Helper()
+	tr, err := serve.Generate([]serve.TenantSpec{
+		{Name: "alice", Network: "VGG19", RateRPS: 140, SLOMs: 10},
+		{Name: "bob", Network: "ResNet152", RateRPS: 140, SLOMs: 12},
+	}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func threeDeviceConfig() Config {
+	return Config{
+		Devices: []DeviceSpec{
+			{Platform: "Orin"}, {Platform: "Xavier"}, {Platform: "SD865"},
+		},
+		SolverTimeScale: 50,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no devices", Config{}},
+		{"unknown platform", Config{Devices: []DeviceSpec{{Platform: "Exynos"}}}},
+		{"negative count", Config{Devices: []DeviceSpec{{Platform: "Orin", Count: -1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestDeviceNamingAndPool(t *testing.T) {
+	f, err := New(Config{Devices: []DeviceSpec{
+		{Platform: "Orin", Count: 2}, {Platform: "Xavier"}, {Platform: "Orin"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Orin/0", "Orin/1", "Xavier/0", "Orin/2"}
+	devs := f.Devices()
+	if len(devs) != len(want) {
+		t.Fatalf("%d devices, want %d", len(devs), len(want))
+	}
+	for i, d := range devs {
+		if d.Name() != want[i] {
+			t.Errorf("device %d named %q, want %q", i, d.Name(), want[i])
+		}
+	}
+	if got := f.Pool(); got != "Orin+Orin+Xavier+Orin" {
+		t.Errorf("pool = %q", got)
+	}
+}
+
+// TestFleetBeatsSingleSoC is the PR's acceptance demo: on the default
+// two-tenant trace, a three-device Orin+Xavier+SD865 pool under
+// least-loaded or affinity placement must beat contention-aware serving on
+// a single Orin on both fleet p99 latency and SLO violations.
+func TestFleetBeatsSingleSoC(t *testing.T) {
+	tr := defaultTrace(t)
+	cmp, err := Compare(threeDeviceConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SinglePlatform != "Orin" {
+		t.Fatalf("single-SoC baseline on %s, want Orin", cmp.SinglePlatform)
+	}
+	if len(cmp.Fleets) != 3 {
+		t.Fatalf("%d fleet summaries, want 3", len(cmp.Fleets))
+	}
+	won := false
+	for _, fs := range cmp.Fleets {
+		if fs.Placement != "least-loaded" && fs.Placement != "affinity" {
+			continue
+		}
+		if fs.Total.P99Ms < cmp.Single.Total.P99Ms && fs.Total.Violations < cmp.Single.Total.Violations {
+			won = true
+		}
+		t.Logf("%-12s p99=%.2f ms viol=%d slo=%.1f%% (single: p99=%.2f viol=%d)",
+			fs.Placement, fs.Total.P99Ms, fs.Total.Violations, fs.SLOAttainmentPct,
+			cmp.Single.Total.P99Ms, cmp.Single.Total.Violations)
+	}
+	if !won {
+		t.Error("neither least-loaded nor affinity beat single-SoC serving on p99 and violations")
+	}
+	// Both policies must serve every offered request's fate: offered
+	// counts match the trace under each configuration.
+	for _, fs := range cmp.Fleets {
+		if fs.Total.Offered != len(tr) {
+			t.Errorf("%s: offered %d != trace %d", fs.Placement, fs.Total.Offered, len(tr))
+		}
+	}
+	if best := cmp.Best(); best == nil || cmp.P99ImprovementPct(best) <= 0 {
+		t.Error("Best() fleet does not improve on the single SoC")
+	}
+}
+
+// TestSingleDeviceFleetMatchesRuntime pins the fleet event loop to the
+// single-device serving semantics: a one-device fleet under round-robin
+// must reproduce serve.Runtime.Serve exactly.
+func TestSingleDeviceFleetMatchesRuntime(t *testing.T) {
+	tr := defaultTrace(t)
+	rt, err := serve.New(serve.Config{Platform: mustPlatform(t, "Orin"), SolverTimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rt.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{Devices: []DeviceSpec{{Platform: "Orin"}}, SolverTimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := mustJSON(t, want.Total)
+	gotJSON := mustJSON(t, got.Total)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("one-device fleet diverged from the runtime:\nfleet:   %s\nruntime: %s", gotJSON, wantJSON)
+	}
+	if got.Rounds != want.Rounds {
+		t.Errorf("rounds %d != %d", got.Rounds, want.Rounds)
+	}
+}
+
+// TestPlacementSpreadsLoad checks that every placement policy uses the
+// whole pool and that least-loaded balances an Orin-only pool evenly.
+func TestPlacementSpreadsLoad(t *testing.T) {
+	tr := defaultTrace(t)
+	for _, name := range Placements() {
+		pl, err := NewPlacer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(Config{
+			Devices:         []DeviceSpec{{Platform: "Orin", Count: 2}},
+			Placement:       pl,
+			SolverTimeScale: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range sum.Devices {
+			if ds.Placed == 0 {
+				t.Errorf("%s left device %s idle", name, ds.Device)
+			}
+		}
+		if name == "least-loaded" {
+			a, b := sum.Devices[0].Placed, sum.Devices[1].Placed
+			if a+b != len(tr) {
+				t.Errorf("least-loaded placed %d+%d != %d", a, b, len(tr))
+			}
+			// Ties break deterministically toward device 0, so an exact
+			// split is not expected — but neither device may be starved.
+			if min := min(a, b); min < len(tr)/4 {
+				t.Errorf("least-loaded starved a device on an identical pair: %d vs %d", a, b)
+			}
+		}
+	}
+	if _, err := NewPlacer("random"); err == nil {
+		t.Error("NewPlacer accepted an unknown policy")
+	}
+}
+
+// TestSharedCacheWarmsPlatformGroup verifies the headline cache property:
+// with the default shared caches, a mix solved on one Orin serves every
+// Orin (one miss per distinct mix across the whole group), while private
+// caches re-solve per device.
+func TestSharedCacheWarmsPlatformGroup(t *testing.T) {
+	tr := defaultTrace(t)
+	run := func(private bool) *Summary {
+		f, err := New(Config{
+			Devices:         []DeviceSpec{{Platform: "Orin", Count: 2}},
+			Placement:       RoundRobin(),
+			SolverTimeScale: 50,
+			PrivateCaches:   private,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	shared := run(false)
+	private := run(true)
+	if len(shared.Caches) != 1 || shared.Caches[0].Platform != "Orin" {
+		t.Fatalf("shared cache view: %+v", shared.Caches)
+	}
+	if got, want := len(shared.Caches[0].Devices), 2; got != want {
+		t.Errorf("cache group has %d devices, want %d", got, want)
+	}
+	if shared.Caches[0].Misses >= private.Caches[0].Misses {
+		t.Errorf("sharing did not reduce misses: shared %d vs private %d",
+			shared.Caches[0].Misses, private.Caches[0].Misses)
+	}
+	if shared.Caches[0].Hits == 0 {
+		t.Error("shared cache shows no hits")
+	}
+	if shared.Caches[0].Entries > private.Caches[0].Entries {
+		t.Errorf("shared cache has more entries (%d) than the private caches combined (%d)",
+			shared.Caches[0].Entries, private.Caches[0].Entries)
+	}
+}
+
+// TestFleetDeterminism: serving the same seeded trace on two fresh fleets
+// — one fed a regenerated copy of the trace — must yield byte-identical
+// fleet summaries under every placement policy, and warm re-serves must be
+// identical to each other too.
+func TestFleetDeterminism(t *testing.T) {
+	for _, name := range Placements() {
+		pl1, _ := NewPlacer(name)
+		pl2, _ := NewPlacer(name)
+		cfg1, cfg2 := threeDeviceConfig(), threeDeviceConfig()
+		cfg1.Placement, cfg2.Placement = pl1, pl2
+		f1, err := New(cfg1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := New(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := f1.Serve(defaultTrace(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := f2.Serve(defaultTrace(t)) // regenerated trace, fresh fleet
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, a), mustJSON(t, b)) {
+			t.Errorf("%s: two fresh fleets diverged on the same trace", name)
+		}
+		// Warm re-serves reuse solved cache entries (so they differ from
+		// the cold run in cache stats), but must equal each other exactly.
+		c, err := f1.Serve(defaultTrace(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := f2.Serve(defaultTrace(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(mustJSON(t, c), mustJSON(t, d)) {
+			t.Errorf("%s: warm re-serves diverged", name)
+		}
+	}
+}
+
+func mustPlatform(t *testing.T, name string) *soc.Platform {
+	t.Helper()
+	p, ok := soc.PlatformByName(name)
+	if !ok {
+		t.Fatalf("unknown platform %q", name)
+	}
+	return p
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+// Placement policies: how the fleet dispatcher chooses a device for each
+// arriving request. Policies are deterministic — ties always break toward
+// the lowest device index — so fleet runs are exactly reproducible.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"haxconn/internal/serve"
+)
+
+// DeviceView is the per-device load snapshot a placement decision steers
+// by, taken at the request's arrival instant.
+type DeviceView struct {
+	// Index is the device's position in the pool.
+	Index int
+	// Name and Platform identify the device ("Orin/1" on "Orin").
+	Name     string
+	Platform string
+	// QueueDepth is the number of admitted, undispatched requests.
+	QueueDepth int
+	// FreeAtMs is when the device's current round ends (its clock); a
+	// device whose clock is behind the arrival is free immediately.
+	FreeAtMs float64
+	// BacklogMs estimates the queueing delay of the pending work.
+	BacklogMs float64
+	// StandaloneMs is the arriving network's contention-free service
+	// estimate on this device (0 when the network is unknown).
+	StandaloneMs float64
+}
+
+// startMs is when a request placed now could start on the device.
+func (v DeviceView) startMs(arrivalMs float64) float64 {
+	return math.Max(v.FreeAtMs, arrivalMs) + v.BacklogMs
+}
+
+// Placer chooses a device for each arriving request.
+type Placer interface {
+	// Name identifies the policy ("round-robin", "least-loaded", "affinity").
+	Name() string
+	// Place returns the index of the chosen device.
+	Place(req serve.Request, devices []DeviceView) int
+	// Reset clears any routing state before a fresh run.
+	Reset()
+	// LoadAware reports whether Place reads the views' load fields
+	// (QueueDepth, FreeAtMs, BacklogMs, StandaloneMs). A load-blind
+	// policy lets the fleet skip the per-arrival backlog estimation.
+	LoadAware() bool
+}
+
+// roundRobin cycles through the pool regardless of load: the blind
+// baseline every load-aware policy must beat.
+type roundRobin struct{ next int }
+
+// RoundRobin returns the round-robin placement policy.
+func RoundRobin() Placer { return &roundRobin{} }
+
+func (p *roundRobin) Name() string    { return "round-robin" }
+func (p *roundRobin) Reset()          { p.next = 0 }
+func (p *roundRobin) LoadAware() bool { return false }
+func (p *roundRobin) Place(_ serve.Request, devices []DeviceView) int {
+	i := p.next % len(devices)
+	p.next++
+	return i
+}
+
+// leastLoaded routes to the device where the request could start earliest:
+// max(device free time, arrival) plus the queued backlog. Queue-depth and
+// virtual-time aware, but blind to how fast the device runs this network.
+type leastLoaded struct{}
+
+// LeastLoaded returns the least-loaded placement policy.
+func LeastLoaded() Placer { return leastLoaded{} }
+
+func (leastLoaded) Name() string    { return "least-loaded" }
+func (leastLoaded) Reset()          {}
+func (leastLoaded) LoadAware() bool { return true }
+func (leastLoaded) Place(req serve.Request, devices []DeviceView) int {
+	best, bestScore := 0, math.Inf(1)
+	for i, v := range devices {
+		if s := v.startMs(req.ArrivalMs); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// affinity routes each network to the device whose profile serves it
+// fastest, falling back on load: the score is the estimated completion
+// time (earliest start plus the network's standalone latency on the
+// device), so a fast device keeps winning until its queue erodes the
+// hardware advantage.
+type affinity struct{}
+
+// Affinity returns the affinity placement policy.
+func Affinity() Placer { return affinity{} }
+
+func (affinity) Name() string    { return "affinity" }
+func (affinity) Reset()          {}
+func (affinity) LoadAware() bool { return true }
+func (affinity) Place(req serve.Request, devices []DeviceView) int {
+	best, bestScore := 0, math.Inf(1)
+	for i, v := range devices {
+		if s := v.startMs(req.ArrivalMs) + v.StandaloneMs; s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Placements lists the built-in policy names.
+func Placements() []string { return []string{"round-robin", "least-loaded", "affinity"} }
+
+// NewPlacer returns the named built-in policy.
+func NewPlacer(name string) (Placer, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin(), nil
+	case "least-loaded":
+		return LeastLoaded(), nil
+	case "affinity":
+		return Affinity(), nil
+	}
+	return nil, fmt.Errorf("fleet: unknown placement %q (want %s)", name, strings.Join(Placements(), ", "))
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"haxconn/internal/experiments"
+	"haxconn/internal/fleet"
 	"haxconn/internal/profiler"
 	"haxconn/internal/serve"
 )
@@ -180,6 +181,68 @@ func ServingComparisonCSV(w io.Writer, cmp *serve.Comparison) error {
 		}
 		if err := c.row(a.Tenant, a.Network, n.P50Ms, n.P99Ms, n.Violations,
 			a.P50Ms, a.P99Ms, a.Violations, impr); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// FleetCSV writes a fleet serving summary: one row per device plus a
+// fleet-wide TOTAL row, with placement share, latency percentiles, SLO
+// accounting, throughput and per-device cache effectiveness.
+func FleetCSV(w io.Writer, sum *fleet.Summary) error {
+	c := newCSV(w)
+	if err := c.row("placement", "pool", "device", "platform", "placed",
+		"offered", "rejected", "completed", "mean_ms", "p50_ms", "p95_ms",
+		"p99_ms", "max_ms", "violations", "violation_rate", "throughput_rps",
+		"cache_hits", "cache_misses", "cache_upgrades", "slo_attainment_pct"); err != nil {
+		return err
+	}
+	for _, ds := range sum.Devices {
+		ts := ds.Summary.Total
+		if err := c.row(sum.Placement, sum.Pool, ds.Device, ds.Platform, ds.Placed,
+			ts.Offered, ts.Rejected, ts.Completed, ts.MeanMs, ts.P50Ms, ts.P95Ms,
+			ts.P99Ms, ts.MaxMs, ts.Violations, ts.ViolationRate, ts.ThroughputRPS,
+			ds.Summary.CacheHits, ds.Summary.CacheMisses, ds.Summary.CacheUpgrades,
+			ts.SLOAttainmentPct()); err != nil {
+			return err
+		}
+	}
+	tot := sum.Total
+	var hits, misses, upgrades int
+	for _, ds := range sum.Devices {
+		hits += ds.Summary.CacheHits
+		misses += ds.Summary.CacheMisses
+		upgrades += ds.Summary.CacheUpgrades
+	}
+	if err := c.row(sum.Placement, sum.Pool, tot.Tenant, "fleet", tot.Offered,
+		tot.Offered, tot.Rejected, tot.Completed, tot.MeanMs, tot.P50Ms, tot.P95Ms,
+		tot.P99Ms, tot.MaxMs, tot.Violations, tot.ViolationRate, tot.ThroughputRPS,
+		hits, misses, upgrades, sum.SLOAttainmentPct); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+// FleetComparisonCSV writes the single-SoC-vs-fleet comparison: one row
+// for the single-SoC baseline and one per placement policy, on identical
+// traffic.
+func FleetComparisonCSV(w io.Writer, cmp *fleet.Comparison) error {
+	c := newCSV(w)
+	if err := c.row("config", "pool", "p50_ms", "p99_ms", "violations",
+		"throughput_rps", "slo_attainment_pct", "p99_impr_pct", "violations_avoided"); err != nil {
+		return err
+	}
+	st := cmp.Single.Total
+	if err := c.row("single:"+cmp.SinglePlatform, cmp.SinglePlatform,
+		st.P50Ms, st.P99Ms, st.Violations, st.ThroughputRPS, st.SLOAttainmentPct(), 0.0, 0); err != nil {
+		return err
+	}
+	for _, fs := range cmp.Fleets {
+		ft := fs.Total
+		if err := c.row("fleet:"+fs.Placement, fs.Pool,
+			ft.P50Ms, ft.P99Ms, ft.Violations, ft.ThroughputRPS, fs.SLOAttainmentPct,
+			cmp.P99ImprovementPct(fs), cmp.ViolationsAvoided(fs)); err != nil {
 			return err
 		}
 	}

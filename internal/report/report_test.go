@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"haxconn/internal/experiments"
+	"haxconn/internal/fleet"
 	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 )
@@ -163,5 +164,63 @@ func TestServingComparisonCSV(t *testing.T) {
 	}
 	if recs[3][0] != "TOTAL" {
 		t.Errorf("last row: %v", recs[3])
+	}
+}
+
+func sampleFleet(t *testing.T) (*fleet.Summary, *fleet.Comparison) {
+	t.Helper()
+	tr, err := serve.Generate([]serve.TenantSpec{
+		{Name: "alice", Network: "VGG19", RateRPS: 40, SLOMs: 15},
+		{Name: "bob", Network: "ResNet152", RateRPS: 40, SLOMs: 18},
+	}, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleet.Config{
+		Devices:         []fleet.DeviceSpec{{Platform: "Orin"}, {Platform: "Xavier"}},
+		SolverTimeScale: 50,
+	}
+	cmp, err := fleet.Compare(cfg, tr, fleet.LeastLoaded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp.Fleets[0], cmp
+}
+
+func TestFleetCSV(t *testing.T) {
+	sum, cmp := sampleFleet(t)
+	var buf bytes.Buffer
+	if err := FleetCSV(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + Orin/0 + Xavier/0 + TOTAL
+	if len(recs) != 4 {
+		t.Fatalf("%d records: %v", len(recs), recs)
+	}
+	if recs[1][2] != "Orin/0" || recs[2][2] != "Xavier/0" || recs[3][2] != "TOTAL" {
+		t.Errorf("device column: %v", recs)
+	}
+	if recs[1][0] != "least-loaded" || recs[1][1] != "Orin+Xavier" {
+		t.Errorf("placement/pool: %v", recs[1])
+	}
+
+	buf.Reset()
+	if err := FleetComparisonCSV(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + single + one fleet policy
+	if len(recs) != 3 {
+		t.Fatalf("%d records: %v", len(recs), recs)
+	}
+	if recs[1][0] != "single:Orin" || recs[2][0] != "fleet:least-loaded" {
+		t.Errorf("config column: %v", recs)
 	}
 }

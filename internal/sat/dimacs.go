@@ -8,10 +8,21 @@ import (
 	"strings"
 )
 
+// MaxDIMACSVars caps the variable count a problem line may declare. The
+// parser allocates per-variable state eagerly, so an adversarial header
+// like "p cnf 999999999 1" would otherwise commit gigabytes before the
+// first clause is read; every schedule encoding in this repository uses a
+// few hundred variables.
+const MaxDIMACSVars = 1 << 20
+
 // ParseDIMACS reads a CNF formula in DIMACS format and returns a solver
 // loaded with it. Comments (c ...) are skipped; the problem line
 // (p cnf <vars> <clauses>) declares the variable count; clauses are
 // whitespace-separated literals terminated by 0 and may span lines.
+//
+// Malformed input — a bad or missing problem line, out-of-range literals,
+// a variable count beyond MaxDIMACSVars — yields an error, never a panic:
+// this is the solver's untrusted entry point.
 func ParseDIMACS(r io.Reader) (*Solver, error) {
 	s := New()
 	sc := bufio.NewScanner(r)
@@ -30,9 +41,15 @@ func ParseDIMACS(r io.Reader) (*Solver, error) {
 			if len(fields) != 4 || fields[1] != "cnf" {
 				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
 			}
+			if declared >= 0 {
+				return nil, fmt.Errorf("sat: line %d: duplicate problem line", lineNo)
+			}
 			n, err := strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("sat: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			if n > MaxDIMACSVars {
+				return nil, fmt.Errorf("sat: line %d: %d variables exceeds the %d cap", lineNo, n, MaxDIMACSVars)
 			}
 			declared = n
 			for i := 0; i < n; i++ {

@@ -1,0 +1,69 @@
+package sat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseDIMACS guards the solver's untrusted entry point: arbitrary
+// bytes must either parse or return an error — never panic, never commit
+// unbounded memory — and whatever parses must round-trip through
+// WriteDIMACS byte-for-byte on the second write.
+//
+// The seed corpus (f.Add below plus testdata/fuzz/FuzzParseDIMACS) covers
+// the grammar: comments, the problem line, multi-line and unterminated
+// clauses, and the malformed shapes the parser must reject — clause before
+// header, out-of-range and overflowing literals, absurd variable counts,
+// duplicate headers.
+func FuzzParseDIMACS(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"c comment only\n",
+		"p cnf 0 0\n",
+		"p cnf 2 1\n1 -2 0\n",
+		"c header\np cnf 3 2\n1 2 3 0\n-1 -2 0\n",
+		"p cnf 3 1\n1\n2\n3 0\n",              // clause spanning lines
+		"p cnf 2 1\n1 2",                      // unterminated final clause
+		"p cnf 2 1\n1 1 -1 0\n",               // duplicate + tautology
+		"1 2 0\np cnf 2 1\n",                  // clause before problem line
+		"p cnf -1 0\n",                        // negative variable count
+		"p cnf 999999999 1\n1 0\n",            // absurd variable count
+		"p cnf 2 1\n3 0\n",                    // literal beyond declared
+		"p cnf 2 1\n9223372036854775807 0\n",  // max-int literal
+		"p cnf 2 1\n-9223372036854775808 0\n", // min-int literal (negation overflows)
+		"p cnf 2 1\nx 0\n",                    // non-numeric literal
+		"p cnf 1 1\np cnf 1 1\n",              // duplicate problem line
+		"p dnf 2 1\n1 0\n",                    // wrong format tag
+		"p cnf 2\n",                           // short problem line
+		"p cnf 2 1 extra\n1 0\n",              // long problem line
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if s.NumVars() > MaxDIMACSVars {
+			t.Fatalf("parser admitted %d variables, cap is %d", s.NumVars(), MaxDIMACSVars)
+		}
+		var first bytes.Buffer
+		if err := s.WriteDIMACS(&first); err != nil {
+			t.Fatalf("WriteDIMACS after successful parse: %v", err)
+		}
+		s2, err := ParseDIMACS(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing our own DIMACS output: %v\noutput:\n%s", err, first.Bytes())
+		}
+		if s2.NumVars() != s.NumVars() {
+			t.Fatalf("round-trip changed variable count: %d -> %d", s.NumVars(), s2.NumVars())
+		}
+		var second bytes.Buffer
+		if err := s2.WriteDIMACS(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("WriteDIMACS is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

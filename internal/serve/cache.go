@@ -28,20 +28,38 @@ type CacheConfig struct {
 	// Solve runs the anytime solver on every miss; false caches only the
 	// naive schedule (the NaiveGPUOnly policy needs no solving).
 	Solve bool
-	// SolverTimeScale stretches solver wall time onto the virtual
-	// timeline (see Config.SolverTimeScale). 1 means real time.
+	// SolverTimeScale stretches virtual solver time onto the serving
+	// timeline (see Config.SolverTimeScale). 1 means unscaled.
 	SolverTimeScale float64
+	// SolverNodesPerMs converts the background solver's deterministic
+	// work counter (search nodes) into virtual solver milliseconds: an
+	// incumbent found after N nodes deploys N/SolverNodesPerMs scaled
+	// milliseconds after the miss. The default (32, roughly the B&B node
+	// rate on the evaluation problems) makes upgrade replay deterministic
+	// run to run while matching real solve-time dynamics.
+	SolverNodesPerMs float64
 	// MaxGroups caps layer groups per network.
 	MaxGroups int
 	// TimeBudget bounds each background solve (0 = run to optimality).
 	TimeBudget time.Duration
 }
 
+// defaultSolverNodesPerMs approximates the measured B&B node rate on the
+// two-network evaluation problems (~30 nodes per millisecond of solve).
+const defaultSolverNodesPerMs = 32
+
 func (c CacheConfig) scale() float64 {
 	if c.SolverTimeScale <= 0 {
 		return 1
 	}
 	return c.SolverTimeScale
+}
+
+func (c CacheConfig) nodesPerMs() float64 {
+	if c.SolverNodesPerMs <= 0 {
+		return defaultSolverNodesPerMs
+	}
+	return c.SolverNodesPerMs
 }
 
 // Cache maps workload mixes to solved schedules and counts its own
@@ -80,6 +98,11 @@ type Entry struct {
 	cache     *Cache
 	lastSched *schedule.Schedule
 	evals     map[string]*schedule.Eval
+	// settled marks an entry carried across a timeline rewind: its solve
+	// finished in a previous run, so it deploys its best incumbent
+	// immediately rather than replaying the stream against a clock it
+	// predates.
+	settled bool
 }
 
 // NewCache builds an empty cache.
@@ -92,6 +115,22 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 
 // Len returns the number of cached mixes.
 func (c *Cache) Len() int { return len(c.entries) }
+
+// Rewind re-anchors the cache to the start of a fresh virtual timeline and
+// zeroes the effectiveness counters. Entries stay warm but become settled:
+// their background solves completed in the previous run, so they deploy
+// their best incumbent immediately instead of replaying the stream against
+// timestamps from a clock that no longer exists. Runtime.Reset rewinds a
+// private cache automatically; a fleet rewinds each shared cache once per
+// run.
+func (c *Cache) Rewind() {
+	for _, e := range c.entries {
+		e.CreatedMs = 0
+		e.settled = true
+		e.lastSched = nil
+	}
+	c.Hits, c.Misses, c.Upgrades = 0, 0, 0
+}
 
 // mixKey canonicalizes a workload mix into a cache key.
 func (c *Cache) mixKey(networks []string) (string, []string) {
@@ -145,16 +184,27 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 }
 
 // Use returns the schedule deployed for this entry at virtual time nowMs:
-// the newest solver incumbent whose (scaled) solve time has elapsed since
-// the miss (solver.Anytime.ScheduleAt), or the naive schedule when nothing
-// is solved. Advancing to a newer incumbent than any previous Use counts
-// as a cache upgrade.
+// the newest solver incumbent whose (scaled) virtual solve time has elapsed
+// since the miss, or the naive schedule when nothing is solved. Virtual
+// solve time is derived from the solver's deterministic node counter
+// (solver.Anytime.ScheduleAtNodes) rather than wall time, so replaying the
+// same trace deploys the same upgrades at the same virtual instants.
+// Advancing to a newer incumbent than any previous Use counts as a cache
+// upgrade.
 func (e *Entry) Use(nowMs float64) *schedule.Schedule {
 	if e.Any == nil || len(e.Any.History) == 0 {
 		return e.Naive
 	}
-	elapsed := time.Duration((nowMs - e.CreatedMs) / e.cache.cfg.scale() * float64(time.Millisecond))
-	s := e.Any.ScheduleAt(elapsed)
+	nodes := e.Any.History[len(e.Any.History)-1].Nodes
+	if !e.settled {
+		// Clamp before converting: a huge virtual gap must saturate at
+		// "every incumbent landed", not overflow the int conversion.
+		f := (nowMs - e.CreatedMs) / e.cache.cfg.scale() * e.cache.cfg.nodesPerMs()
+		if f < float64(nodes) {
+			nodes = int(f)
+		}
+	}
+	s := e.Any.ScheduleAtNodes(nodes)
 	if e.lastSched != nil && s != e.lastSched {
 		e.cache.Upgrades++
 	}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"haxconn/internal/soc"
+)
+
+// TestServeDeterministic: serving the same seeded Poisson trace twice on
+// fresh runtimes — and serving a regenerated copy of the trace — must
+// yield byte-identical summaries. The contention-aware policy exercises
+// the whole stack: the background solver's incumbent stream is replayed
+// on its deterministic node clock, so even cache-upgrade timing must
+// reproduce exactly.
+func TestServeDeterministic(t *testing.T) {
+	serveOnce := func(tr Trace) []byte {
+		t.Helper()
+		rt, err := New(Config{Platform: soc.Orin(), SolverTimeScale: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tr1, err := Generate(twoTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Generate(twoTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := serveOnce(tr1)
+	b := serveOnce(tr1)
+	c := serveOnce(tr2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same trace, fresh runtimes: summaries differ\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Equal(a, c) {
+		t.Errorf("regenerated trace: summaries differ\n%s\nvs\n%s", a, c)
+	}
+
+	// The summary must show the upgrade path actually ran — otherwise the
+	// determinism claim would not cover incumbent replay.
+	var sum Summary
+	if err := json.Unmarshal(a, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.CacheUpgrades == 0 {
+		t.Error("trace produced no cache upgrades; determinism check is vacuous")
+	}
+}
+
+// TestWarmReserveDeterministic: re-serving on one runtime rewinds the
+// timeline but keeps the cache warm — warm entries deploy their best
+// incumbent from round one (no replay against a dead clock), so warm runs
+// must be byte-identical to each other.
+func TestWarmReserveDeterministic(t *testing.T) {
+	tr, err := Generate(twoTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Platform: soc.Orin(), SolverTimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveJSON := func() []byte {
+		t.Helper()
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cold := serveJSON()
+	warm1 := serveJSON()
+	warm2 := serveJSON()
+	if !bytes.Equal(warm1, warm2) {
+		t.Errorf("warm re-serves diverged:\n%s\nvs\n%s", warm1, warm2)
+	}
+	var coldSum, warmSum Summary
+	if err := json.Unmarshal(cold, &coldSum); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warm1, &warmSum); err != nil {
+		t.Fatal(err)
+	}
+	if warmSum.CacheMisses != 0 {
+		t.Errorf("warm run missed %d times; cache was dropped by Reset", warmSum.CacheMisses)
+	}
+	// Warm runs skip the naive warm-up phase entirely, so they cannot be
+	// slower than the cold run at the tail.
+	if warmSum.Total.P99Ms > coldSum.Total.P99Ms+1e-9 {
+		t.Errorf("warm p99 %.3f ms worse than cold %.3f ms", warmSum.Total.P99Ms, coldSum.Total.P99Ms)
+	}
+}

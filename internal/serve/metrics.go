@@ -50,6 +50,17 @@ type TenantStats struct {
 	ThroughputRPS float64 // completed per second of virtual time
 }
 
+// SLOAttainmentPct is the percentage of offered requests that completed
+// within their SLO; rejected requests count against attainment. No offered
+// traffic attains vacuously (100%), so an idle device does not read as a
+// fully failing one.
+func (t TenantStats) SLOAttainmentPct() float64 {
+	if t.Offered == 0 {
+		return 100
+	}
+	return 100 * float64(t.Completed-t.Violations) / float64(t.Offered)
+}
+
 // Summary is the outcome of serving one trace.
 type Summary struct {
 	Policy    string

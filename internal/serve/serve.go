@@ -22,13 +22,22 @@
 //
 // Compare serves the same trace under both and reports per-tenant
 // p50/p95/p99 latency, SLO violations, throughput and cache hit rate.
+//
+// A Runtime is steppable: Offer hands it one arriving request (running the
+// admission controller), NextStartMs reports when its next dispatch round
+// can begin, and Step executes exactly one round on the simulator. Serve is
+// the single-device driver over those primitives; internal/fleet drives
+// many runtimes through the same Device interface, interleaving their
+// rounds in a shared virtual timeline.
 package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"haxconn/internal/core"
+	"haxconn/internal/nn"
 	"haxconn/internal/schedule"
 	"haxconn/internal/soc"
 )
@@ -78,6 +87,9 @@ type Trace []Request
 type Config struct {
 	// Platform is the target SoC (required).
 	Platform *soc.Platform
+	// Name labels the runtime in fleet summaries (default: the platform
+	// name). Fleets give each device a unique name ("Orin/0", "Orin/1").
+	Name string
 	// Objective is the per-mix scheduling objective (default MinMaxLatency).
 	Objective schedule.Objective
 	// Policy selects contention-aware or naive scheduling.
@@ -94,31 +106,53 @@ type Config struct {
 	// service estimate) exceeds AdmitSLOFactor x SLO is rejected at
 	// arrival. Zero admits regardless of SLO.
 	AdmitSLOFactor float64
-	// SolverTimeScale stretches the background solver's wall time when
-	// mapping its incumbent stream onto the virtual serving timeline, so
+	// SolverTimeScale stretches the background solver's virtual solve time
+	// when mapping its incumbent stream onto the serving timeline, so
 	// upgrade dynamics at Z3-like solve times can be studied (see
-	// autoloop.Config.SolverTimeScale). 1 means real time.
+	// autoloop.Config.SolverTimeScale). 1 means unscaled.
 	SolverTimeScale float64
 	// MaxGroups caps layer groups per network (0 = nn.DefaultMaxGroups).
 	MaxGroups int
+	// SharedCache, when set, is used instead of a private schedule cache:
+	// a fleet shares one cache among all devices of the same platform, so
+	// a mix solved on one Orin warms every Orin. Its platform, objective
+	// and solve mode must match this runtime's configuration.
+	SharedCache *Cache
 }
 
 // Runtime is the serving executor: admission controller, dispatcher and
-// schedule cache bound to one platform and policy.
+// schedule cache bound to one platform and policy. Its zero state is the
+// start of a fresh virtual timeline; Offer/Step advance it one event at a
+// time, and Serve drives a whole trace.
 type Runtime struct {
 	cfg        Config
 	cache      *Cache
 	standalone map[string]float64 // per-network standalone service estimate
+
+	// Virtual-timeline state, advanced by Offer and Step.
+	clockMs     float64 // end of the last dispatched round
+	pending     []Request
+	queued      map[string]int
+	completions []Completion
+	rounds      int
+
+	// Cache effectiveness local to this runtime: with a shared cache the
+	// cache's own counters aggregate over all devices in the group.
+	hits, misses, upgrades int
+	lastSched              map[string]*schedule.Schedule // last deployed schedule per mix key
 }
 
 // New validates the configuration and builds a runtime with an empty
-// schedule cache.
+// schedule cache (or bound to cfg.SharedCache).
 func New(cfg Config) (*Runtime, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("serve: nil platform")
 	}
 	if cfg.MaxBatch < 0 || cfg.MaxQueue < 0 || cfg.AdmitSLOFactor < 0 {
 		return nil, fmt.Errorf("serve: negative config value")
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.Platform.Name
 	}
 	if cfg.MaxBatch == 0 {
 		for _, a := range cfg.Platform.Accels {
@@ -130,28 +164,106 @@ func New(cfg Config) (*Runtime, error) {
 			cfg.MaxBatch = 1
 		}
 	}
-	cache, err := NewCache(CacheConfig{
-		Platform:        cfg.Platform,
-		Objective:       cfg.Objective,
-		Solve:           cfg.Policy == ContentionAware,
-		SolverTimeScale: cfg.SolverTimeScale,
-		MaxGroups:       cfg.MaxGroups,
-	})
-	if err != nil {
-		return nil, err
+	cache := cfg.SharedCache
+	if cache != nil {
+		cc := cache.cfg
+		if cc.Platform.Name != cfg.Platform.Name {
+			return nil, fmt.Errorf("serve: shared cache is for %s, runtime for %s", cc.Platform.Name, cfg.Platform.Name)
+		}
+		if cc.Objective != cfg.Objective {
+			return nil, fmt.Errorf("serve: shared cache objective %s != runtime objective %s", cc.Objective, cfg.Objective)
+		}
+		if cc.Solve != (cfg.Policy == ContentionAware) {
+			return nil, fmt.Errorf("serve: shared cache solve mode does not match policy %s", cfg.Policy)
+		}
+		// Once a cache is shared, its config governs solving — a silently
+		// differing runtime knob would be dropped, so fail fast instead.
+		if cc.SolverTimeScale != cfg.SolverTimeScale {
+			return nil, fmt.Errorf("serve: shared cache solver time scale %g != runtime %g", cc.SolverTimeScale, cfg.SolverTimeScale)
+		}
+		if cc.MaxGroups != cfg.MaxGroups {
+			return nil, fmt.Errorf("serve: shared cache max groups %d != runtime %d", cc.MaxGroups, cfg.MaxGroups)
+		}
+	} else {
+		var err error
+		cache, err = NewCache(CacheConfig{
+			Platform:        cfg.Platform,
+			Objective:       cfg.Objective,
+			Solve:           cfg.Policy == ContentionAware,
+			SolverTimeScale: cfg.SolverTimeScale,
+			MaxGroups:       cfg.MaxGroups,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Runtime{cfg: cfg, cache: cache, standalone: map[string]float64{}}, nil
+	return &Runtime{
+		cfg:        cfg,
+		cache:      cache,
+		standalone: map[string]float64{},
+		queued:     map[string]int{},
+		lastSched:  map[string]*schedule.Schedule{},
+	}, nil
 }
 
 // Cache exposes the runtime's schedule cache (for inspection and tests).
 func (r *Runtime) Cache() *Cache { return r.cache }
 
-// standaloneMs estimates a network's contention-free service time: the
-// minimum per-group latency over the allowed accelerators. It is the
-// admission controller's service-time estimate. It characterizes directly
-// (core.Prepare) rather than going through the schedule cache: admission
-// needs no solve, and must not perturb the cache's hit/upgrade accounting.
-func (r *Runtime) standaloneMs(network string) (float64, error) {
+// Name returns the device label (Config.Name, default the platform name).
+func (r *Runtime) Name() string { return r.cfg.Name }
+
+// Platform returns the SoC the runtime serves on.
+func (r *Runtime) Platform() *soc.Platform { return r.cfg.Platform }
+
+// ClockMs returns the end of the last dispatched round — the earliest
+// virtual time the device is free again.
+func (r *Runtime) ClockMs() float64 { return r.clockMs }
+
+// QueueDepth returns the number of admitted, undispatched requests.
+func (r *Runtime) QueueDepth() int { return len(r.pending) }
+
+// Rounds returns the number of dispatch rounds executed so far.
+func (r *Runtime) Rounds() int { return r.rounds }
+
+// Completions returns the outcomes recorded so far (served and rejected),
+// in processing order. The slice is the runtime's own; callers must not
+// mutate it.
+func (r *Runtime) Completions() []Completion { return r.completions }
+
+// CacheCounters returns this runtime's own cache effectiveness: lookups it
+// performed that hit or missed, and deployments that advanced to a newer
+// solver incumbent. With a private cache these equal the cache's counters;
+// with a shared cache the cache aggregates over the whole device group.
+func (r *Runtime) CacheCounters() (hits, misses, upgrades int) {
+	return r.hits, r.misses, r.upgrades
+}
+
+// Reset rewinds the runtime to the start of a fresh virtual timeline,
+// dropping pending requests, completions and local cache counters. The
+// schedule cache is retained — solved mixes stay warm — but a private
+// cache is rewound with the runtime so its entries re-anchor to the new
+// timeline (a shared cache belongs to the fleet, which rewinds it once
+// per run across all devices).
+func (r *Runtime) Reset() {
+	r.clockMs = 0
+	r.pending = nil
+	r.queued = map[string]int{}
+	r.completions = nil
+	r.rounds = 0
+	r.hits, r.misses, r.upgrades = 0, 0, 0
+	r.lastSched = map[string]*schedule.Schedule{}
+	if r.cfg.SharedCache == nil {
+		r.cache.Rewind()
+	}
+}
+
+// StandaloneMs estimates a network's contention-free service time on this
+// device: the minimum per-group latency over the allowed accelerators. It
+// is the admission controller's service-time estimate and the affinity
+// placement signal. It characterizes directly (core.Prepare) rather than
+// going through the schedule cache: admission needs no solve, and must not
+// perturb the cache's hit/upgrade accounting.
+func (r *Runtime) StandaloneMs(network string) (float64, error) {
 	if ms, ok := r.standalone[network]; ok {
 		return ms, nil
 	}
@@ -168,126 +280,200 @@ func (r *Runtime) standaloneMs(network string) (float64, error) {
 	return ms, nil
 }
 
+// BacklogMs estimates the queueing delay a new arrival would see: the sum
+// of standalone service estimates over pending requests, divided by the
+// dispatch width.
+func (r *Runtime) BacklogMs() (float64, error) {
+	var total float64
+	for _, p := range r.pending {
+		ms, err := r.StandaloneMs(p.Network)
+		if err != nil {
+			return 0, err
+		}
+		total += ms
+	}
+	return total / float64(r.cfg.MaxBatch), nil
+}
+
+// Admission rejection reasons.
+const (
+	RejectInvalidTenant  = "invalid-tenant"
+	RejectUnknownNetwork = "unknown-network"
+	RejectQueueFull      = "queue-full"
+	RejectSLO            = "slo-unattainable"
+)
+
 // admit decides whether to accept a request given the current backlog.
-// It returns a non-empty reason when the request is rejected.
-func (r *Runtime) admit(req Request, nowMs float64, pending []Request, queued map[string]int) (string, error) {
-	if r.cfg.MaxQueue > 0 && queued[req.Tenant] >= r.cfg.MaxQueue {
-		return "queue-full", nil
+// It returns a non-empty reason when the request is rejected. Malformed
+// requests (no tenant, a reserved tenant name, an unknown network) are
+// rejected rather than erroring, so one bad request cannot take down the
+// serving loop.
+func (r *Runtime) admit(req Request, nowMs float64) (string, error) {
+	if req.Tenant == "" || req.Tenant == totalName {
+		return RejectInvalidTenant, nil
+	}
+	if _, err := nn.ByName(req.Network); err != nil {
+		return RejectUnknownNetwork, nil
+	}
+	if r.cfg.MaxQueue > 0 && r.queued[req.Tenant] >= r.cfg.MaxQueue {
+		return RejectQueueFull, nil
 	}
 	if r.cfg.AdmitSLOFactor > 0 && req.SLOMs > 0 {
-		var backlog float64
-		for _, p := range pending {
-			ms, err := r.standaloneMs(p.Network)
-			if err != nil {
-				return "", err
-			}
-			backlog += ms
-		}
-		service, err := r.standaloneMs(req.Network)
+		backlog, err := r.BacklogMs()
 		if err != nil {
 			return "", err
 		}
-		est := (nowMs - req.ArrivalMs) + backlog/float64(r.cfg.MaxBatch) + service
+		service, err := r.StandaloneMs(req.Network)
+		if err != nil {
+			return "", err
+		}
+		est := (nowMs - req.ArrivalMs) + backlog + service
 		if est > r.cfg.AdmitSLOFactor*req.SLOMs {
-			return "slo-unattainable", nil
+			return RejectSLO, nil
 		}
 	}
 	return "", nil
 }
 
+// Offer hands the runtime one arriving request. The admission controller
+// runs at max(device clock, arrival time) — a request arriving while a
+// round is in flight is judged at the round boundary, exactly as in the
+// single-device serving loop. Rejections are recorded as completions; the
+// returned boolean reports whether the request was rejected. Requests must
+// be offered in nondecreasing arrival order.
+func (r *Runtime) Offer(req Request) (bool, error) {
+	now := math.Max(r.clockMs, req.ArrivalMs)
+	reason, err := r.admit(req, now)
+	if err != nil {
+		return false, err
+	}
+	if reason != "" {
+		r.completions = append(r.completions, Completion{Request: req, Rejected: true, RejectReason: reason})
+		return true, nil
+	}
+	r.queued[req.Tenant]++
+	r.pending = append(r.pending, req)
+	return false, nil
+}
+
+// NextStartMs returns the earliest virtual time the next dispatch round can
+// begin: the device must be free and the oldest pending request must have
+// arrived. +Inf when nothing is pending.
+func (r *Runtime) NextStartMs() float64 {
+	if len(r.pending) == 0 {
+		return math.Inf(1)
+	}
+	return math.Max(r.clockMs, r.pending[0].ArrivalMs)
+}
+
+// Step dispatches one round: the oldest pending requests (up to MaxBatch,
+// all arrived by the round start) form the workload mix, the schedule cache
+// supplies the mix's schedule, and the ground-truth simulator executes it.
+// The device clock advances to the round's end. Step is a no-op when
+// nothing is pending.
+func (r *Runtime) Step() error {
+	start := r.NextStartMs()
+	if math.IsInf(start, 1) {
+		return nil
+	}
+	n := r.cfg.MaxBatch
+	if n > len(r.pending) {
+		n = len(r.pending)
+	}
+	// Pending is in arrival order, so the dispatchable prefix is contiguous.
+	for n > 0 && r.pending[n-1].ArrivalMs > start {
+		n--
+	}
+	batch := append([]Request(nil), r.pending[:n]...)
+	r.pending = append(r.pending[:0], r.pending[n:]...)
+	for _, b := range batch {
+		r.queued[b.Tenant]--
+	}
+	// Canonical mix order: by network name, FIFO among equals, so the
+	// batch maps 1:1 onto the cached problem's items.
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].Network < batch[j].Network })
+	mix := make([]string, n)
+	for k, b := range batch {
+		mix[k] = b.Network
+	}
+	entry, hit, err := r.cache.Lookup(mix, start)
+	if err != nil {
+		return err
+	}
+	if hit {
+		r.hits++
+	} else {
+		r.misses++
+	}
+	s := entry.Naive
+	if r.cfg.Policy == ContentionAware {
+		s = entry.Use(start)
+		if prev, ok := r.lastSched[entry.Key]; ok && s != prev {
+			r.upgrades++
+		}
+		r.lastSched[entry.Key] = s
+	}
+	ev, err := entry.Evaluate(s)
+	if err != nil {
+		return err
+	}
+	for k, b := range batch {
+		end := start + ev.Result.StreamEndMs[k]
+		c := Completion{
+			Request:   b,
+			StartMs:   start,
+			EndMs:     end,
+			LatencyMs: end - b.ArrivalMs,
+		}
+		if b.SLOMs > 0 && c.LatencyMs > b.SLOMs {
+			c.Violated = true
+		}
+		r.completions = append(r.completions, c)
+	}
+	r.clockMs = start + ev.MakespanMs
+	r.rounds++
+	return nil
+}
+
+// Summary folds the outcomes recorded so far into a serving summary.
+func (r *Runtime) Summary() *Summary {
+	sum := Summarize(r.completions, r.cfg.Policy, r.cfg.Platform.Name, r.cfg.Objective)
+	sum.Rounds = r.rounds
+	sum.CacheHits, sum.CacheMisses, sum.CacheUpgrades = r.hits, r.misses, r.upgrades
+	if t := sum.CacheHits + sum.CacheMisses; t > 0 {
+		sum.CacheHitRate = float64(sum.CacheHits) / float64(t)
+	}
+	return sum
+}
+
 // Serve executes the trace in virtual time and returns the serving
-// summary. The trace may be unsorted; it is served in arrival order.
+// summary. The trace may be unsorted; it is served in arrival order. Serve
+// rewinds the virtual timeline first (Reset), so repeated calls on one
+// runtime serve independent runs over a warm schedule cache.
 func (r *Runtime) Serve(tr Trace) (*Summary, error) {
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("serve: empty trace")
 	}
+	r.Reset()
 	reqs := append(Trace(nil), tr...)
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].ArrivalMs < reqs[j].ArrivalMs })
 
-	var (
-		completions []Completion
-		pending     []Request
-		queued      = map[string]int{}
-		now         float64
-		next        int
-		rounds      int
-	)
-	for next < len(reqs) || len(pending) > 0 {
-		// Idle until the next arrival when nothing is pending.
-		if len(pending) == 0 && next < len(reqs) && reqs[next].ArrivalMs > now {
-			now = reqs[next].ArrivalMs
-		}
-		// Admit everything that has arrived by now.
-		for next < len(reqs) && reqs[next].ArrivalMs <= now {
-			req := reqs[next]
-			next++
-			reason, err := r.admit(req, now, pending, queued)
-			if err != nil {
+	next := 0
+	for next < len(reqs) || len(r.pending) > 0 {
+		// Arrivals up to the next round boundary are offered first, so
+		// admission sees them exactly as the round-loop formulation did.
+		if next < len(reqs) && reqs[next].ArrivalMs <= r.NextStartMs() {
+			if _, err := r.Offer(reqs[next]); err != nil {
 				return nil, err
 			}
-			if reason != "" {
-				completions = append(completions, Completion{Request: req, Rejected: true, RejectReason: reason})
-				continue
-			}
-			queued[req.Tenant]++
-			pending = append(pending, req)
-		}
-		if len(pending) == 0 {
+			next++
 			continue
 		}
-		// Dispatch one round: the oldest pending requests form the mix.
-		n := r.cfg.MaxBatch
-		if n > len(pending) {
-			n = len(pending)
-		}
-		batch := append([]Request(nil), pending[:n]...)
-		pending = append(pending[:0], pending[n:]...)
-		for _, b := range batch {
-			queued[b.Tenant]--
-		}
-		// Canonical mix order: by network name, FIFO among equals, so the
-		// batch maps 1:1 onto the cached problem's items.
-		sort.SliceStable(batch, func(i, j int) bool { return batch[i].Network < batch[j].Network })
-		mix := make([]string, n)
-		for k, b := range batch {
-			mix[k] = b.Network
-		}
-		entry, _, err := r.cache.Lookup(mix, now)
-		if err != nil {
+		if err := r.Step(); err != nil {
 			return nil, err
 		}
-		s := entry.Naive
-		if r.cfg.Policy == ContentionAware {
-			s = entry.Use(now)
-		}
-		ev, err := entry.Evaluate(s)
-		if err != nil {
-			return nil, err
-		}
-		for k, b := range batch {
-			end := now + ev.Result.StreamEndMs[k]
-			c := Completion{
-				Request:   b,
-				StartMs:   now,
-				EndMs:     end,
-				LatencyMs: end - b.ArrivalMs,
-			}
-			if b.SLOMs > 0 && c.LatencyMs > b.SLOMs {
-				c.Violated = true
-			}
-			completions = append(completions, c)
-		}
-		now += ev.MakespanMs
-		rounds++
 	}
-
-	sum := Summarize(completions, r.cfg.Policy, r.cfg.Platform.Name, r.cfg.Objective)
-	sum.Rounds = rounds
-	sum.CacheHits, sum.CacheMisses, sum.CacheUpgrades = r.cache.Hits, r.cache.Misses, r.cache.Upgrades
-	if t := sum.CacheHits + sum.CacheMisses; t > 0 {
-		sum.CacheHitRate = float64(sum.CacheHits) / float64(t)
-	}
-	return sum, nil
+	return r.Summary(), nil
 }
 
 // Comparison serves one trace under both policies.

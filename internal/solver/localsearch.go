@@ -56,7 +56,7 @@ func OptimizeLocal(prob *schedule.Problem, pr *schedule.Profile, cfg Config, res
 			bestCost = ev.Cost
 			best = s.Clone()
 			if cfg.OnImprove != nil {
-				cfg.OnImprove(Incumbent{Schedule: best, Cost: bestCost, Elapsed: time.Since(start)})
+				cfg.OnImprove(Incumbent{Schedule: best, Cost: bestCost, Elapsed: time.Since(start), Nodes: st.Evals})
 			}
 		}
 		return ev.Cost, nil

@@ -131,7 +131,7 @@ func OptimizeSAT(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*sch
 			bestCost = ev.Cost
 			best = s.Clone()
 			if cfg.OnImprove != nil {
-				cfg.OnImprove(Incumbent{Schedule: best, Cost: bestCost, Elapsed: time.Since(start)})
+				cfg.OnImprove(Incumbent{Schedule: best, Cost: bestCost, Elapsed: time.Since(start), Nodes: st.Nodes})
 			}
 		}
 		return nil
@@ -202,13 +202,13 @@ func RunAnytime(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*Anyt
 	return a, nil
 }
 
-// ScheduleAt returns the schedule the runtime would be using after the
-// given solver wall-time has elapsed: the last incumbent found no later
-// than elapsed.
-func (a *Anytime) ScheduleAt(elapsed time.Duration) *schedule.Schedule {
+// scheduleWhere returns the last incumbent satisfying the landed
+// predicate, falling back to the first incumbent (the deployable seed)
+// when none has landed yet.
+func (a *Anytime) scheduleWhere(landed func(Incumbent) bool) *schedule.Schedule {
 	var cur *schedule.Schedule
 	for _, inc := range a.History {
-		if inc.Elapsed <= elapsed {
+		if landed(inc) {
 			cur = inc.Schedule
 		}
 	}
@@ -216,4 +216,21 @@ func (a *Anytime) ScheduleAt(elapsed time.Duration) *schedule.Schedule {
 		cur = a.History[0].Schedule
 	}
 	return cur
+}
+
+// ScheduleAt returns the schedule the runtime would be using after the
+// given solver wall-time has elapsed: the last incumbent found no later
+// than elapsed.
+func (a *Anytime) ScheduleAt(elapsed time.Duration) *schedule.Schedule {
+	return a.scheduleWhere(func(inc Incumbent) bool { return inc.Elapsed <= elapsed })
+}
+
+// ScheduleAtNodes returns the schedule the runtime would be using after the
+// given amount of search work: the last incumbent found within nodes search
+// nodes. Because node counts (unlike wall time) are deterministic for a
+// given problem, replays of the incumbent stream against a virtual clock
+// are reproducible — internal/serve's schedule cache deploys upgrades
+// through this entry point.
+func (a *Anytime) ScheduleAtNodes(nodes int) *schedule.Schedule {
+	return a.scheduleWhere(func(inc Incumbent) bool { return inc.Nodes <= nodes })
 }

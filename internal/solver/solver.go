@@ -60,6 +60,12 @@ type Incumbent struct {
 	Schedule *schedule.Schedule
 	Cost     float64
 	Elapsed  time.Duration
+	// Nodes is the search work done when the incumbent was found: B&B
+	// nodes expanded, SAT models enumerated, or local-search evaluations.
+	// Unlike Elapsed it is deterministic for a given problem, so virtual-
+	// time replays of the incumbent stream (internal/serve's schedule
+	// cache) are reproducible run to run.
+	Nodes int
 }
 
 // Stats summarizes a search.
@@ -158,7 +164,7 @@ func OptimizeBB(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*sche
 			bestCost = ev.Cost
 			best = s.Clone()
 			if cfg.OnImprove != nil {
-				cfg.OnImprove(Incumbent{Schedule: best, Cost: bestCost, Elapsed: time.Since(start)})
+				cfg.OnImprove(Incumbent{Schedule: best, Cost: bestCost, Elapsed: time.Since(start), Nodes: st.Nodes})
 			}
 		}
 		return nil
