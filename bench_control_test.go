@@ -1,0 +1,59 @@
+// Benchmark regression harness for the control plane: the controlled-vs-
+// static comparison on the canonical bursty trace — p99, SLO violations
+// and device-time consumed on both sides, plus the decision counts. All
+// virtual-time derived, so the numbers are deterministic run to run; a
+// drift means the controller's behavior changed. Each benchmark reports
+// its metrics via b.ReportMetric AND records them for BENCH_control.json
+// (written by TestMain) — run
+//
+//	go test -bench Control -benchtime=1x .
+//
+// and diff BENCH_control.json against the committed baseline (cmd/benchdiff
+// does the tolerance check in CI).
+package haxconn
+
+import (
+	"testing"
+
+	"haxconn/internal/control"
+	"haxconn/internal/fleet"
+)
+
+// BenchmarkControlCompare serves the bursty four-tenant trace on the
+// controlled fleet (one Orin growing through Xavier and SD865) and on the
+// static max-size pool — the exact configuration the acceptance test
+// requires to win at least two of {p99, violations, device-time}.
+func BenchmarkControlCompare(b *testing.B) {
+	tr, err := control.DemoBurstTrace(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cmp *control.CompareResult
+	for i := 0; i < b.N; i++ {
+		cmp, err = control.Compare(control.Config{
+			Fleet: fleet.Config{
+				Devices:         []fleet.DeviceSpec{{Platform: "Orin"}},
+				SolverTimeScale: 50,
+			},
+			MaxDevices:    3,
+			GrowPlatforms: []string{"Xavier", "SD865"},
+		}, tr, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	metrics := map[string]float64{
+		"controlled_p99_ms":     cmp.Controlled.Fleet.Total.P99Ms,
+		"static_p99_ms":         cmp.Static.Total.P99Ms,
+		"controlled_violations": float64(cmp.Controlled.Fleet.Total.Violations),
+		"static_violations":     float64(cmp.Static.Total.Violations),
+		"controlled_device_ms":  cmp.Controlled.DeviceMs,
+		"static_device_ms":      cmp.StaticDeviceMs,
+		"peak_devices":          float64(cmp.Controlled.PeakDevices),
+		"scale_events":          float64(len(cmp.Controlled.Scale)),
+		"migrations":            float64(len(cmp.Controlled.Migrations)),
+		"seeded_entries":        float64(cmp.Controlled.SeededEntries),
+		"win_count":             float64(cmp.WinCount()),
+	}
+	reportAndRecordControl(b, "BenchmarkControlCompare", metrics)
+}

@@ -9,14 +9,36 @@ import (
 	"haxconn/internal/sat"
 )
 
-// benchRecords collects the metrics of every regression benchmark that ran
-// (see bench_fleet_test.go); TestMain serializes them to BENCH_fleet.json
-// so perf runs leave a diffable artifact next to the committed baseline.
-var benchRecords = map[string]map[string]float64{}
+// benchRecords collects the metrics of every regression benchmark that
+// ran, keyed by the artifact file it belongs to (see bench_fleet_test.go
+// and bench_control_test.go); TestMain serializes each populated artifact
+// so perf runs leave diffable files next to the committed baselines.
+var benchRecords = map[string]map[string]map[string]float64{}
+
+// Perf-trajectory artifacts at the repo root, with their regeneration
+// notes.
+const (
+	benchFleetJSON   = "BENCH_fleet.json"
+	benchControlJSON = "BENCH_control.json"
+)
+
+var benchNotes = map[string]string{
+	benchFleetJSON:   "regression baseline for solver incumbent quality and fleet throughput; regenerate with: go test -bench 'Fleet|IncumbentQuality' -benchtime=1x .",
+	benchControlJSON: "regression baseline for the control plane: controlled-vs-static p99, violations and device-time on the bursty trace; regenerate with: go test -bench Control -benchtime=1x .",
+}
 
 // reportAndRecord reports each metric on the benchmark result line and
 // stages it for BENCH_fleet.json.
 func reportAndRecord(b *testing.B, name string, metrics map[string]float64) {
+	reportAndRecordTo(b, benchFleetJSON, name, metrics)
+}
+
+// reportAndRecordControl stages metrics for BENCH_control.json.
+func reportAndRecordControl(b *testing.B, name string, metrics map[string]float64) {
+	reportAndRecordTo(b, benchControlJSON, name, metrics)
+}
+
+func reportAndRecordTo(b *testing.B, path, name string, metrics map[string]float64) {
 	keys := make([]string, 0, len(metrics))
 	for k := range metrics {
 		keys = append(keys, k)
@@ -25,36 +47,41 @@ func reportAndRecord(b *testing.B, name string, metrics map[string]float64) {
 	for _, k := range keys {
 		b.ReportMetric(metrics[k], k)
 	}
-	benchRecords[name] = metrics
+	if benchRecords[path] == nil {
+		benchRecords[path] = map[string]map[string]float64{}
+	}
+	benchRecords[path][name] = metrics
 }
-
-// benchJSONPath is the perf-trajectory artifact at the repo root.
-const benchJSONPath = "BENCH_fleet.json"
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if code == 0 && len(benchRecords) > 0 {
-		if err := writeBenchJSON(); err != nil {
-			os.Stderr.WriteString("writing " + benchJSONPath + ": " + err.Error() + "\n")
-			code = 1
+	if code == 0 {
+		for path, records := range benchRecords {
+			if len(records) == 0 {
+				continue
+			}
+			if err := writeBenchJSON(path, records); err != nil {
+				os.Stderr.WriteString("writing " + path + ": " + err.Error() + "\n")
+				code = 1
+			}
 		}
 	}
 	os.Exit(code)
 }
 
-func writeBenchJSON() error {
+func writeBenchJSON(path string, records map[string]map[string]float64) error {
 	out := struct {
 		Note       string                        `json:"note"`
 		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 	}{
-		Note:       "regression baseline for solver incumbent quality and fleet throughput; regenerate with: go test -bench 'Fleet|IncumbentQuality' -benchtime=1x .",
-		Benchmarks: benchRecords,
+		Note:       benchNotes[path],
+		Benchmarks: records,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(benchJSONPath, append(b, '\n'), 0o644)
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // newPigeonhole encodes the pigeonhole principle PHP(n+1, n) — UNSAT and a

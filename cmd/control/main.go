@@ -1,0 +1,327 @@
+// Command control runs the elastic fleet control plane over generated
+// bursty multi-tenant traffic: an autoscaler grows and shrinks the device
+// pool against backlog/utilization watermarks, a sticky tenant table with
+// SLO-pressure migration replaces per-request placement, and joining
+// platforms get their schedule caches seeded from already-solved
+// platforms.
+//
+// The initial pool is specified as comma-separated platform[:count]
+// entries (cmd/fleet's format); -grow names the platforms the autoscaler
+// adds, cycled in order, up to -max devices. Tenants are specified as
+// name:network:rate:slo; -burst start:dur:xN overlays a burst window in
+// which every tenant's rate is multiplied by N.
+//
+// Modes:
+//
+//   - serve:   run the controlled fleet once and print the summary plus
+//     the scaling/migration event log.
+//   - compare: serve identical traffic on the controlled fleet and on a
+//     static fleet of the controlled fleet's maximum size — the
+//     elasticity trade on one trace.
+//
+// Examples:
+//
+//	control                               # canonical burst demo, compare mode
+//	control -mode serve -devices Orin -grow Xavier -max 4
+//	control -burst 500:800:4 -high 15 -low 1 -tick 20
+//	control -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"haxconn/internal/control"
+	"haxconn/internal/fleet"
+	"haxconn/internal/nn"
+	"haxconn/internal/report"
+	"haxconn/internal/schedule"
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+func main() {
+	var (
+		devices   = flag.String("devices", "Orin", "initial device pool as platform[:count], comma-separated")
+		grow      = flag.String("grow", "Xavier,SD865", "platforms the autoscaler adds, cycled, comma-separated")
+		minDev    = flag.Int("min", 0, "minimum active devices (default: initial pool size)")
+		maxDev    = flag.Int("max", 3, "maximum active devices")
+		tick      = flag.Float64("tick", control.DefaultTickMs, "control tick period in virtual ms")
+		high      = flag.Float64("high", control.DefaultHighWatermarkMs, "grow when mean backlog/device exceeds this for -hysteresis ticks")
+		low       = flag.Float64("low", control.DefaultLowWatermarkMs, "shrink when mean backlog/device is below this (and utilization low)")
+		hyst      = flag.Int("hysteresis", control.DefaultHysteresisTicks, "consecutive ticks beyond a watermark before acting")
+		cool      = flag.Int("cooldown", control.DefaultCooldownTicks, "ticks to wait after a scaling action")
+		window    = flag.Int("window", control.DefaultSLOWindow, "per-tenant rolling completion window for migration decisions")
+		pressure  = flag.Float64("pressure", control.DefaultPressureP99Factor, "migrate when rolling p99 exceeds this factor x SLO")
+		noseed    = flag.Bool("noseed", false, "disable cross-platform cache seeding on grow")
+		nomigrate = flag.Bool("nomigrate", false, "disable SLO-pressure migration (tenants stay on first assignment)")
+		tenants   = flag.String("tenants", "cam-a:VGG19:20:10,cam-b:VGG19:20:10,scorer-a:ResNet152:20:12,scorer-b:ResNet152:20:12", "tenant specs as name:network:rate:slo, comma-separated")
+		duration  = flag.Float64("duration", 2000, "trace duration in virtual ms")
+		burst     = flag.String("burst", "600:500:7.5", "burst window as start:dur:xN (rate multiplier), empty to disable")
+		seed      = flag.Int64("seed", 1, "load-generator seed")
+		mode      = flag.String("mode", "compare", "control mode: serve or compare")
+		placement = flag.String("placement", "least-loaded", "static fleet's placement policy in compare mode")
+		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
+		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see cmd/serve)")
+		csvOut    = flag.String("csv", "", "write the control summary (or comparison) as CSV to this file")
+		jsonOut   = flag.String("json", "", "write the full summary (or comparison) as JSON to this file")
+		list      = flag.Bool("list", false, "list available networks, platforms and placements, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("networks:  ", strings.Join(nn.Names(), ", "))
+		names := []string{}
+		for _, p := range soc.Platforms() {
+			names = append(names, p.Name)
+		}
+		fmt.Println("platforms: ", strings.Join(names, ", "))
+		fmt.Println("placements:", strings.Join(fleet.Placements(), ", "))
+		return
+	}
+	specs, err := parseTenants(*tenants)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tr, err := buildTrace(specs, *duration, *burst, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pool, err := parseDevices(*devices)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := control.Config{
+		Fleet: fleet.Config{
+			Devices:         pool,
+			SolverTimeScale: *scale,
+		},
+		TickMs:            *tick,
+		HighWatermarkMs:   *high,
+		LowWatermarkMs:    *low,
+		HysteresisTicks:   *hyst,
+		CooldownTicks:     *cool,
+		MinDevices:        *minDev,
+		MaxDevices:        *maxDev,
+		GrowPlatforms:     splitList(*grow),
+		NoCacheSeeding:    *noseed,
+		SLOWindow:         *window,
+		PressureP99Factor: *pressure,
+		NoMigration:       *nomigrate,
+	}
+	switch *objective {
+	case "latency":
+		cfg.Fleet.Objective = schedule.MinMaxLatency
+	case "fps":
+		cfg.Fleet.Objective = schedule.MaxThroughput
+	default:
+		fatalf("unknown objective %q", *objective)
+	}
+
+	fmt.Printf("dispatching %d requests from %d tenants (burst %q) | pool %s, grow %s, max %d\n\n",
+		len(tr), len(specs), *burst, *devices, *grow, *maxDev)
+
+	switch *mode {
+	case "serve":
+		ctrl, err := control.New(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sum, err := ctrl.Serve(tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printControl(sum)
+		writeOutputs(*csvOut, *jsonOut,
+			func(f *os.File) error { return report.ControlCSV(f, sum) }, sum)
+	case "compare":
+		pl, err := fleet.NewPlacer(*placement)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cmp, err := control.Compare(cfg, tr, pl)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printControl(cmp.Controlled)
+		printComparison(cmp)
+		writeOutputs(*csvOut, *jsonOut,
+			func(f *os.File) error { return report.ControlComparisonCSV(f, cmp) }, cmp)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+// buildTrace generates the base trace and overlays the burst window.
+func buildTrace(specs []serve.TenantSpec, durationMs float64, burst string, seed int64) (serve.Trace, error) {
+	base, err := serve.Generate(specs, durationMs, seed)
+	if err != nil {
+		return nil, err
+	}
+	if burst == "" {
+		return base, nil
+	}
+	fields := strings.Split(burst, ":")
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("burst %q: want start:dur:xN", burst)
+	}
+	start, err1 := strconv.ParseFloat(fields[0], 64)
+	dur, err2 := strconv.ParseFloat(fields[1], 64)
+	factorStr := strings.TrimPrefix(fields[2], "x")
+	factor, err3 := strconv.ParseFloat(factorStr, 64)
+	if err1 != nil || err2 != nil || err3 != nil || start < 0 || dur <= 0 || factor <= 1 {
+		return nil, fmt.Errorf("burst %q: want start:dur:xN with N > 1", burst)
+	}
+	boosted := make([]serve.TenantSpec, len(specs))
+	for i, sp := range specs {
+		sp.RateRPS *= factor - 1 // the burst overlays on top of the base rate
+		boosted[i] = sp
+	}
+	extra, err := serve.Generate(boosted, dur, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return control.MergeTraces(base, control.ShiftTrace(extra, start)), nil
+}
+
+// parseDevices parses comma-separated platform[:count] specs (the
+// cmd/fleet format).
+func parseDevices(s string) ([]fleet.DeviceSpec, error) {
+	var specs []fleet.DeviceSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		spec := fleet.DeviceSpec{Platform: part}
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			n, err := strconv.Atoi(part[i+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("device spec %q: bad count", part)
+			}
+			spec.Platform, spec.Count = part[:i], n
+		}
+		if spec.Platform == "" {
+			return nil, fmt.Errorf("device spec %q: no platform", part)
+		}
+		if _, ok := soc.PlatformByName(spec.Platform); !ok {
+			return nil, fmt.Errorf("unknown platform %q (see -list)", spec.Platform)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no device specs in %q", s)
+	}
+	return specs, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseTenants parses comma-separated name:network:rate:slo specs.
+func parseTenants(s string) ([]serve.TenantSpec, error) {
+	var specs []serve.TenantSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
+		}
+		slo, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
+		}
+		specs = append(specs, serve.TenantSpec{Name: fields[0], Network: fields[1], RateRPS: rate, SLOMs: slo})
+	}
+	return specs, nil
+}
+
+func printControl(sum *control.Summary) {
+	fmt.Printf("== controlled fleet | pool %s | peak %d devices, final %d ==\n",
+		sum.Fleet.Pool, sum.PeakDevices, sum.FinalDevices)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "device\tplatform\tplaced\tcompleted\tp99\tviol\tcache h/m/u")
+	for _, ds := range sum.Fleet.Devices {
+		ts := ds.Summary.Total
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%d\t%d/%d/%d\n",
+			ds.Device, ds.Platform, ds.Placed, ts.Completed, ts.P99Ms, ts.Violations,
+			ds.Summary.CacheHits, ds.Summary.CacheMisses, ds.Summary.CacheUpgrades)
+	}
+	tot := sum.Fleet.Total
+	fmt.Fprintf(tw, "%s\tfleet\t%d\t%d\t%.2f\t%d\t\n",
+		tot.Tenant, tot.Offered, tot.Completed, tot.P99Ms, tot.Violations)
+	tw.Flush()
+	fmt.Printf("device-time %.0f ms | SLO attainment %.1f%% | %d cache entries seeded cross-platform\n",
+		sum.DeviceMs, sum.Fleet.SLOAttainmentPct, sum.SeededEntries)
+	for _, e := range sum.Scale {
+		fmt.Printf("  %8.1f ms  %-6s %-9s active=%d backlog=%.1f ms seeded=%d\n",
+			e.AtMs, e.Action, e.Device, e.Active, e.BacklogMs, e.Seeded)
+	}
+	for _, m := range sum.Migrations {
+		fmt.Printf("  %8.1f ms  migrate %-9s %s -> %s (%s, p99 %.1f ms, viol rate %.2f)\n",
+			m.AtMs, m.Tenant, m.From, m.To, m.Reason, m.RollingP99Ms, m.ViolationRate)
+	}
+	fmt.Println()
+}
+
+func printComparison(cmp *control.CompareResult) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tpool\tp50\tp99\tviol\tSLO att.\tdevice-ms")
+	ct := cmp.Controlled.Fleet.Total
+	fmt.Fprintf(tw, "controlled:sticky\t%s\t%.2f\t%.2f\t%d\t%.1f%%\t%.0f\n",
+		cmp.Controlled.Fleet.Pool, ct.P50Ms, ct.P99Ms, ct.Violations,
+		cmp.Controlled.Fleet.SLOAttainmentPct, cmp.Controlled.DeviceMs)
+	st := cmp.Static.Total
+	fmt.Fprintf(tw, "static:%s\t%s\t%.2f\t%.2f\t%d\t%.1f%%\t%.0f\n",
+		cmp.StaticPlacement, cmp.Static.Pool, st.P50Ms, st.P99Ms, st.Violations,
+		cmp.Static.SLOAttainmentPct, cmp.StaticDeviceMs)
+	tw.Flush()
+	p99, viol, dms := cmp.Wins()
+	fmt.Printf("\ncontrolled wins %d of 3: p99 %v, violations %v, device-time %v\n",
+		cmp.WinCount(), p99, viol, dms)
+}
+
+func writeOutputs(csvPath, jsonPath string, writeCSV func(*os.File) error, v any) {
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := writeCSV(f); err != nil {
+			fatalf("writing %s: %v", csvPath, err)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f, v); err != nil {
+			fatalf("writing %s: %v", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasPrefix(msg, "control: ") {
+		msg = "control: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

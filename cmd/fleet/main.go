@@ -55,6 +55,8 @@ func main() {
 		private   = flag.Bool("privatecaches", false, "give each device its own schedule cache instead of sharing per platform")
 		csvOut    = flag.String("csv", "", "write the fleet summary (or comparison) as CSV to this file")
 		jsonOut   = flag.String("json", "", "write the full summary (or comparison) as JSON to this file")
+		cacheSave = flag.String("cache-save", "", "write the per-platform schedule caches as JSON to this file after serving (-mode serve)")
+		cacheLoad = flag.String("cache-load", "", "seed the per-platform schedule caches from a -cache-save file before serving")
 		list      = flag.Bool("list", false, "list available networks, platforms and placements, then exit")
 	)
 	flag.Parse()
@@ -128,14 +130,30 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *cacheLoad != "" {
+			n, err := loadCaches(*cacheLoad, f)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("loaded %d cached mixes from %s\n", n, *cacheLoad)
+		}
 		sum, err := f.Serve(tr)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		printFleet(sum)
+		if *cacheSave != "" {
+			if err := saveCaches(*cacheSave, f); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote %s\n", *cacheSave)
+		}
 		writeOutputs(*csvOut, *jsonOut,
 			func(f *os.File) error { return report.FleetCSV(f, sum) }, sum)
 	case "compare":
+		if *cacheSave != "" || *cacheLoad != "" {
+			fatalf("-cache-save/-cache-load need -mode serve (compare builds its own fleets)")
+		}
 		cmp, err := fleet.Compare(cfg, tr)
 		if err != nil {
 			fatalf("%v", err)
@@ -271,6 +289,47 @@ func parseTenants(s, arrivals string) ([]serve.TenantSpec, error) {
 		specs = append(specs, sp)
 	}
 	return specs, nil
+}
+
+// loadCaches imports every snapshot whose platform has a cache group in
+// the fleet; snapshots for absent platforms are skipped.
+func loadCaches(path string, f *fleet.Fleet) (int, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer file.Close()
+	snaps, err := serve.LoadSnapshots(file)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, snap := range snaps {
+		c := f.Cache(snap.Platform)
+		if c == nil {
+			continue
+		}
+		n, err := c.Import(snap)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// saveCaches writes every platform group's cache to path.
+func saveCaches(path string, f *fleet.Fleet) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	var caches []*serve.Cache
+	for _, p := range f.CachePlatforms() {
+		caches = append(caches, f.Cache(p))
+	}
+	return serve.SaveCaches(file, caches...)
 }
 
 func fatalf(format string, args ...any) {

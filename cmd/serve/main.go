@@ -6,11 +6,18 @@
 // second for Poisson arrivals (the default) or the period in milliseconds
 // with -arrivals periodic; slo is the per-request latency objective in ms.
 //
+// Solved schedule caches persist across runs: -cache-save writes the
+// cache's entries (mix + best-known assignment) as JSON after serving, and
+// -cache-load seeds a fresh runtime from such a file so known mixes skip
+// re-solving entirely — a restart serves its first rounds on yesterday's
+// schedules.
+//
 // Examples:
 //
 //	serve                                # two-tenant demo, naive-vs-aware comparison
 //	serve -mode aware -duration 5000 -csv out.csv
 //	serve -platform Xavier -tenants "cam:VGG19:30:40,lidar:ResNet101:25:50" -arrivals periodic
+//	serve -mode aware -cache-save warm.json && serve -mode aware -cache-load warm.json
 //	serve -list
 package main
 
@@ -44,6 +51,8 @@ func main() {
 		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see autoloop)")
 		csvOut    = flag.String("csv", "", "write per-tenant statistics as CSV to this file")
 		jsonOut   = flag.String("json", "", "write the full summary as JSON to this file")
+		cacheSave = flag.String("cache-save", "", "write the solved schedule cache as JSON to this file after serving (modes aware/naive)")
+		cacheLoad = flag.String("cache-load", "", "seed the schedule cache from a -cache-save file before serving, skipping re-solves of known mixes")
 		list      = flag.Bool("list", false, "list available networks and platforms, then exit")
 	)
 	flag.Parse()
@@ -98,13 +107,29 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *cacheLoad != "" {
+			n, err := loadCache(*cacheLoad, rt.Cache())
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("loaded %d cached mixes from %s\n", n, *cacheLoad)
+		}
 		sum, err := rt.Serve(tr)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		printSummary(sum)
+		if *cacheSave != "" {
+			if err := saveCaches(*cacheSave, rt.Cache()); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote %s (%d mixes)\n", *cacheSave, rt.Cache().Len())
+		}
 		writeOutputs(*csvOut, *jsonOut, sum, nil)
 	case "compare":
+		if *cacheSave != "" || *cacheLoad != "" {
+			fatalf("-cache-save/-cache-load need -mode aware or naive (compare builds its own runtimes)")
+		}
 		cmp, err := serve.Compare(cfg, tr)
 		if err != nil {
 			fatalf("%v", err)
@@ -198,6 +223,36 @@ func writeOutputs(csvPath, jsonPath string, sum *serve.Summary, cmp *serve.Compa
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
+}
+
+// loadCache imports the snapshot matching the cache's platform and
+// objective from a -cache-save file.
+func loadCache(path string, cache *serve.Cache) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	snaps, err := serve.LoadSnapshots(f)
+	if err != nil {
+		return 0, err
+	}
+	for _, snap := range snaps {
+		if snap.Platform == cache.Platform().Name {
+			return cache.Import(snap)
+		}
+	}
+	return 0, fmt.Errorf("no snapshot for platform %s in %s", cache.Platform().Name, path)
+}
+
+// saveCaches writes the caches' snapshots to path.
+func saveCaches(path string, caches ...*serve.Cache) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return serve.SaveCaches(f, caches...)
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,286 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"haxconn/internal/fleet"
+	"haxconn/internal/serve"
+)
+
+// demoConfig is the canonical controlled-fleet configuration: one Orin
+// that may grow through a Xavier and an SD865 — the repository's
+// heterogeneous rack — up to three devices.
+func demoConfig() Config {
+	return Config{
+		Fleet: fleet.Config{
+			Devices:         []fleet.DeviceSpec{{Platform: "Orin"}},
+			SolverTimeScale: 50,
+		},
+		MaxDevices:    3,
+		GrowPlatforms: []string{"Xavier", "SD865"},
+	}
+}
+
+func burstTrace(t *testing.T, seed int64) serve.Trace {
+	t.Helper()
+	tr, err := DemoBurstTrace(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no devices", Config{}},
+		{"inverted watermarks", Config{
+			Fleet:           fleet.Config{Devices: []fleet.DeviceSpec{{Platform: "Orin"}}},
+			HighWatermarkMs: 2, LowWatermarkMs: 10,
+		}},
+		{"min above max", Config{
+			Fleet:      fleet.Config{Devices: []fleet.DeviceSpec{{Platform: "Orin"}}},
+			MinDevices: 5, MaxDevices: 2,
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Defaults resolve.
+	c, err := New(demoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Config()
+	if got.TickMs != DefaultTickMs || got.MinDevices != 1 || got.SLOWindow != DefaultSLOWindow {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+}
+
+// TestControllerDeterminism: two fresh controllers serving regenerated
+// copies of the same seeded trace — autoscaling, migration and cache
+// seeding all enabled — must produce byte-identical summaries, decision
+// logs included; and a repeated Serve on one controller must equal a
+// fresh controller's run (each Serve builds a fresh fleet).
+func TestControllerDeterminism(t *testing.T) {
+	c1, err := New(demoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(demoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c1.Serve(burstTrace(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c2.Serve(burstTrace(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, a), mustJSON(t, b)) {
+		t.Error("two fresh controllers diverged on the same trace")
+	}
+	c, err := c1.Serve(burstTrace(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, a), mustJSON(t, c)) {
+		t.Error("repeated Serve on one controller diverged from its first run")
+	}
+}
+
+// TestAutoscalerGrowsAndShrinks: on the bursty trace the pool must grow
+// beyond its initial size during the burst and drain back to the minimum
+// afterwards, with the scale events telling that story in order.
+func TestAutoscalerGrowsAndShrinks(t *testing.T) {
+	c, err := New(demoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Serve(burstTrace(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.PeakDevices <= 1 {
+		t.Errorf("pool never grew: peak %d", sum.PeakDevices)
+	}
+	if sum.FinalDevices != 1 {
+		t.Errorf("pool did not shrink back: final %d devices", sum.FinalDevices)
+	}
+	var grows, drains, removes int
+	var growMs, drainMs float64
+	for _, e := range sum.Scale {
+		switch e.Action {
+		case "grow":
+			grows++
+			if grows == 1 {
+				growMs = e.AtMs
+			}
+		case "drain":
+			drains++
+			if drains == 1 {
+				drainMs = e.AtMs
+			}
+		case "remove":
+			removes++
+		}
+	}
+	if grows == 0 || drains == 0 || removes == 0 {
+		t.Fatalf("scale events incomplete: %d grows, %d drains, %d removes", grows, drains, removes)
+	}
+	if drains != removes {
+		t.Errorf("%d drains but %d removes: a drained device never ran dry", drains, removes)
+	}
+	if growMs <= 600 || growMs >= 1100 {
+		t.Errorf("first grow at %.0f ms, want inside the burst window (600-1100)", growMs)
+	}
+	if drainMs <= growMs {
+		t.Errorf("first drain at %.0f ms precedes first grow at %.0f ms", drainMs, growMs)
+	}
+	// Devices the autoscaler added must register with shared caches and
+	// see hits (the mixes were seeded or solved by the Orin group).
+	if sum.SeededEntries == 0 {
+		t.Error("no cache entries were transferred to the joining platforms")
+	}
+	// Every offered request is accounted for.
+	if got, want := sum.Fleet.Total.Offered, len(burstTrace(t, 1)); got != want {
+		t.Errorf("offered %d != trace %d", got, want)
+	}
+	// Device-time is bounded by pool-size x duration on both sides.
+	if sum.DeviceMs <= sum.Fleet.DurationMs || sum.DeviceMs >= 3*sum.Fleet.DurationMs {
+		t.Errorf("device-time %.0f ms outside (duration, 3x duration) = (%.0f, %.0f)",
+			sum.DeviceMs, sum.Fleet.DurationMs, 3*sum.Fleet.DurationMs)
+	}
+}
+
+// TestControlledBeatsStatic is the PR's acceptance demo: on the bursty
+// trace the controlled fleet must beat a static fleet of its own maximum
+// size on at least two of {p99 latency, SLO violations, device-time},
+// device-time being the headline elasticity win.
+func TestControlledBeatsStatic(t *testing.T) {
+	cmp, err := Compare(demoConfig(), burstTrace(t, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, viol, dms := cmp.Wins()
+	t.Logf("controlled: p99 %.2f ms, %d violations, %.0f device-ms | static[%s]: p99 %.2f ms, %d violations, %.0f device-ms",
+		cmp.Controlled.Fleet.Total.P99Ms, cmp.Controlled.Fleet.Total.Violations, cmp.Controlled.DeviceMs,
+		cmp.StaticPlacement, cmp.Static.Total.P99Ms, cmp.Static.Total.Violations, cmp.StaticDeviceMs)
+	if cmp.WinCount() < 2 {
+		t.Errorf("controlled fleet wins only %d of 3 metrics (p99 %v, violations %v, device-time %v)",
+			cmp.WinCount(), p99, viol, dms)
+	}
+	if !dms {
+		t.Error("controlled fleet did not even win device-time")
+	}
+	// Same traffic on both sides.
+	if cmp.Controlled.Fleet.Total.Offered != cmp.Static.Total.Offered {
+		t.Errorf("offered mismatch: controlled %d, static %d",
+			cmp.Controlled.Fleet.Total.Offered, cmp.Static.Total.Offered)
+	}
+	// The static pool is the controlled fleet's maximum shape.
+	if got, want := len(cmp.Static.Devices), 3; got != want {
+		t.Errorf("static pool has %d devices, want %d", got, want)
+	}
+}
+
+// TestStickyPlacementLocality: without SLO pressure nothing migrates and
+// each tenant's traffic lands on exactly one device — the locality that
+// keeps the schedule caches hot.
+func TestStickyPlacementLocality(t *testing.T) {
+	tr, err := serve.Generate(demoTenants(20), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := demoConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Migrations) != 0 {
+		t.Errorf("%d migrations on pressure-free traffic", len(sum.Migrations))
+	}
+	if sum.PeakDevices != 1 {
+		t.Errorf("pool grew to %d devices on pressure-free traffic", sum.PeakDevices)
+	}
+	devicesWithTraffic := 0
+	for _, ds := range sum.Fleet.Devices {
+		if ds.Placed > 0 {
+			devicesWithTraffic++
+		}
+	}
+	if devicesWithTraffic != 1 {
+		t.Errorf("pressure-free traffic spread over %d devices", devicesWithTraffic)
+	}
+}
+
+// TestNoMigrationPinsTenants: with migration disabled the decision log
+// stays empty even under the burst (drain-forced moves excepted — so the
+// pool is held at its initial size too).
+func TestNoMigrationPinsTenants(t *testing.T) {
+	cfg := demoConfig()
+	cfg.NoMigration = true
+	cfg.MaxDevices = 1
+	cfg.MinDevices = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Serve(burstTrace(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Migrations) != 0 {
+		t.Errorf("%d migrations with NoMigration set", len(sum.Migrations))
+	}
+	if len(sum.Scale) != 0 {
+		t.Errorf("%d scale events with a pinned pool", len(sum.Scale))
+	}
+	if sum.FinalDevices != 1 || sum.PeakDevices != 1 {
+		t.Errorf("pinned pool changed size: peak %d, final %d", sum.PeakDevices, sum.FinalDevices)
+	}
+}
+
+// TestMergeTraces: merged traces are arrival-ordered with renumbered IDs.
+func TestMergeTraces(t *testing.T) {
+	a := serve.Trace{{Tenant: "x", Network: "VGG19", ArrivalMs: 10}, {Tenant: "x", Network: "VGG19", ArrivalMs: 30}}
+	b := serve.Trace{{Tenant: "y", Network: "VGG19", ArrivalMs: 20}}
+	m := MergeTraces(a, ShiftTrace(b, 5))
+	if len(m) != 3 {
+		t.Fatalf("merged %d requests", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].ArrivalMs < m[i-1].ArrivalMs {
+			t.Errorf("merge not sorted at %d", i)
+		}
+	}
+	for i, r := range m {
+		if r.ID != i {
+			t.Errorf("ID %d at position %d", r.ID, i)
+		}
+	}
+	if m[1].Tenant != "y" || m[1].ArrivalMs != 25 {
+		t.Errorf("shifted arrival wrong: %+v", m[1])
+	}
+}

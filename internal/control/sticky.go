@@ -1,0 +1,145 @@
+// Sticky placement: the tenant-to-device assignment table that replaces
+// per-request placement, plus the per-tenant rolling SLO windows the
+// migration manager judges. The table is a fleet.Placer, so the fleet's
+// dispatch loop is unchanged — placement policy is exactly the control
+// plane's hook point.
+package control
+
+import (
+	"sort"
+
+	"haxconn/internal/fleet"
+	"haxconn/internal/schedule"
+	"haxconn/internal/serve"
+)
+
+// stickyTable maps tenants to devices. A tenant's first request is placed
+// by the affinity score (earliest start plus standalone estimate) and the
+// choice is remembered; every later request of the tenant lands on the
+// same device until the migration manager rewrites the entry. Sticky
+// routing keeps each tenant's mixes recurring on the same device group,
+// which is what keeps the schedule-cache hit rate high on big pools.
+type stickyTable struct {
+	byTenant map[string]int
+}
+
+func newStickyTable() *stickyTable { return &stickyTable{byTenant: map[string]int{}} }
+
+func (t *stickyTable) Name() string    { return "sticky" }
+func (t *stickyTable) LoadAware() bool { return true }
+func (t *stickyTable) Reset()          { t.byTenant = map[string]int{} }
+
+// Place returns the tenant's assigned device, assigning on first sight
+// with the affinity score (fleet.Affinity is the first-sight policy; the
+// stickiness and the migration manager are what this table adds). An
+// assignment pointing at a device missing from the views (drained between
+// reassignment passes) is repaired in place.
+func (t *stickyTable) Place(req serve.Request, devices []fleet.DeviceView) int {
+	if di, ok := t.byTenant[req.Tenant]; ok {
+		for _, v := range devices {
+			if v.Index == di {
+				return di
+			}
+		}
+	}
+	best := fleet.Affinity().Place(req, devices)
+	t.byTenant[req.Tenant] = best
+	return best
+}
+
+// assigned returns the tenant's current device, if any.
+func (t *stickyTable) assigned(tenant string) (int, bool) {
+	di, ok := t.byTenant[tenant]
+	return di, ok
+}
+
+// assign rewrites the tenant's entry (a migration).
+func (t *stickyTable) assign(tenant string, device int) { t.byTenant[tenant] = device }
+
+// unassign drops the tenant's entry; the next request re-places it.
+func (t *stickyTable) unassign(tenant string) { delete(t.byTenant, tenant) }
+
+// tenantsOn lists the tenants assigned to a device, sorted for
+// deterministic reassignment order.
+func (t *stickyTable) tenantsOn(device int) []string {
+	var names []string
+	for name, di := range t.byTenant {
+		if di == device {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// tenantWindow is a tenant's rolling completion window: the last N served
+// latencies with their violation flags, plus the most recent SLO and
+// network (migration needs both to score candidate devices).
+type tenantWindow struct {
+	cap         int
+	latencies   []float64
+	violations  []bool
+	next        int
+	full        bool
+	lastSLOMs   float64
+	lastNetwork string
+	cooldown    int
+}
+
+func newTenantWindow(size int) *tenantWindow {
+	return &tenantWindow{cap: size, latencies: make([]float64, size), violations: make([]bool, size)}
+}
+
+func (w *tenantWindow) add(c serve.Completion) {
+	w.latencies[w.next] = c.LatencyMs
+	w.violations[w.next] = c.Violated
+	w.next++
+	if w.next == w.cap {
+		w.next = 0
+		w.full = true
+	}
+	if c.SLOMs > 0 {
+		w.lastSLOMs = c.SLOMs
+	}
+	w.lastNetwork = c.Network
+}
+
+func (w *tenantWindow) len() int {
+	if w.full {
+		return w.cap
+	}
+	return w.next
+}
+
+// reset empties the window (after a migration, so the tenant is judged on
+// post-move completions only) but keeps the SLO and network hints.
+func (w *tenantWindow) reset() {
+	w.next = 0
+	w.full = false
+}
+
+// p99 is the rolling window's 99th-percentile latency.
+func (w *tenantWindow) p99() float64 {
+	n := w.len()
+	if n == 0 {
+		return 0
+	}
+	lats := append([]float64(nil), w.latencies[:n]...)
+	sort.Float64s(lats)
+	return schedule.Percentile(lats, 0.99)
+}
+
+// violationRate is the fraction of windowed completions that missed SLO.
+func (w *tenantWindow) violationRate() float64 {
+	n := w.len()
+	if n == 0 {
+		return 0
+	}
+	v := 0
+	for _, violated := range w.violations[:n] {
+		if violated {
+			v++
+		}
+	}
+	return float64(v) / float64(n)
+}

@@ -1,0 +1,65 @@
+// Bursty traffic: the load shape autoscaling exists for. A static pool
+// must be provisioned for the burst and idles the rest of the trace; an
+// elastic pool tracks the offered load. MergeTraces/ShiftTrace compose
+// bursts from the deterministic load generator, and DemoBurstTrace is the
+// canonical two-tenant bursty trace cmd/control and the acceptance tests
+// serve.
+package control
+
+import (
+	"sort"
+
+	"haxconn/internal/serve"
+)
+
+// ShiftTrace returns a copy of the trace with every arrival offset by
+// byMs.
+func ShiftTrace(tr serve.Trace, byMs float64) serve.Trace {
+	out := append(serve.Trace(nil), tr...)
+	for i := range out {
+		out[i].ArrivalMs += byMs
+	}
+	return out
+}
+
+// MergeTraces interleaves traces into one arrival-ordered trace,
+// renumbering request IDs. Tenant names may repeat across inputs — a
+// burst is the same tenant arriving faster for a while.
+func MergeTraces(traces ...serve.Trace) serve.Trace {
+	var out serve.Trace
+	for _, tr := range traces {
+		out = append(out, tr...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ArrivalMs < out[j].ArrivalMs })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}
+
+// DemoBurstTrace is the canonical bursty trace: four tenants — two VGG19,
+// two ResNet152, enough for a sticky table to spread across a small pool —
+// at a base rate one Orin serves comfortably, with a mid-trace burst
+// several times the base rate that no single device can absorb.
+// Deterministic in the seed.
+func DemoBurstTrace(seed int64) (serve.Trace, error) {
+	base, err := serve.Generate(demoTenants(20), 2000, seed)
+	if err != nil {
+		return nil, err
+	}
+	burst, err := serve.Generate(demoTenants(130), 500, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return MergeTraces(base, ShiftTrace(burst, 600)), nil
+}
+
+// demoTenants builds the four demo tenants at a per-tenant rate.
+func demoTenants(rateRPS float64) []serve.TenantSpec {
+	return []serve.TenantSpec{
+		{Name: "cam-a", Network: "VGG19", RateRPS: rateRPS, SLOMs: 10},
+		{Name: "cam-b", Network: "VGG19", RateRPS: rateRPS, SLOMs: 10},
+		{Name: "scorer-a", Network: "ResNet152", RateRPS: rateRPS, SLOMs: 12},
+		{Name: "scorer-b", Network: "ResNet152", RateRPS: rateRPS, SLOMs: 12},
+	}
+}

@@ -271,15 +271,32 @@ func Prepare(req Request) (*schedule.Problem, *schedule.Profile, error) {
 // plan-from-cache entry point of the serving runtime: a cached profile is
 // re-solved in the background while serving continues on the current best.
 func AnytimeFromProfile(req Request, prob *schedule.Problem, pr *schedule.Profile) (*solver.Anytime, error) {
+	return AnytimeFromProfileSeeded(req, prob, pr)
+}
+
+// AnytimeFromProfileSeeded is AnytimeFromProfile with extra seed schedules
+// evaluated ahead of the search, after the naive baselines. A schedule
+// transferred from another platform's solved cache entry (internal/serve's
+// cross-platform cache seeding) enters here: if it beats the naive seeds it
+// becomes the incumbent deployed at zero search nodes, so a freshly joined
+// device serves its first rounds on the transferred schedule instead of a
+// naive one.
+func AnytimeFromProfileSeeded(req Request, prob *schedule.Problem, pr *schedule.Profile, extra ...*schedule.Schedule) (*solver.Anytime, error) {
 	model, err := Model(req)
 	if err != nil {
 		return nil, err
+	}
+	seeds := []*schedule.Schedule{baselines.NaiveConcurrent(pr), baselines.GPUOnly(pr)}
+	for _, s := range extra {
+		if s != nil {
+			seeds = append(seeds, s)
+		}
 	}
 	cfg := solver.Config{
 		MaxTransitions: req.MaxTransitions,
 		Model:          model,
 		TimeBudget:     req.TimeBudget,
-		Seeds:          []*schedule.Schedule{baselines.NaiveConcurrent(pr), baselines.GPUOnly(pr)},
+		Seeds:          seeds,
 	}
 	return solver.RunAnytime(prob, pr, cfg)
 }

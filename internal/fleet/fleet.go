@@ -18,10 +18,19 @@
 // fastest, falling back on load. Compare serves the same trace on a single
 // SoC and on the fleet under every policy, quantifying both the scale-out
 // win and the policy-vs-policy differences.
+//
+// The pool is elastic: AddDevice grows it mid-run (registering the device
+// with its platform's shared cache), Drain stops placements on a device
+// while it finishes in-flight work, and Remove retires a drained, empty
+// device — the membership protocol internal/control's autoscaler drives.
+// Offer, NextRound and Step expose the event loop one event at a time so a
+// control plane can interleave its own decisions on the same virtual
+// timeline; Serve remains the batteries-included driver over them.
 package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -61,13 +70,18 @@ type Config struct {
 }
 
 // Fleet is the dispatcher: a device pool, a placement policy, and the
-// per-platform shared schedule caches.
+// per-platform shared schedule caches. Devices keep their pool index for
+// life; a drained device stays in the pool (its completions belong to the
+// run) but takes no further placements or steps once removed.
 type Fleet struct {
-	cfg     Config
-	devices []serve.Device
-	placer  Placer
-	caches  map[string]*serve.Cache // platform name -> shared cache
-	placed  []int                   // requests routed to each device
+	cfg         Config
+	devices     []serve.Device
+	placer      Placer
+	caches      map[string]*serve.Cache // platform name -> shared cache
+	placed      []int                   // requests routed to each device
+	draining    []bool                  // no new placements; finishing in-flight work
+	removed     []bool                  // retired: no placements, no steps
+	perPlatform map[string]int          // per-platform naming counter
 }
 
 // New validates the configuration and builds the pool. Devices are named
@@ -79,8 +93,12 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Placement == nil {
 		cfg.Placement = RoundRobin()
 	}
-	f := &Fleet{cfg: cfg, placer: cfg.Placement, caches: map[string]*serve.Cache{}}
-	perPlatform := map[string]int{}
+	f := &Fleet{
+		cfg:         cfg,
+		placer:      cfg.Placement,
+		caches:      map[string]*serve.Cache{},
+		perPlatform: map[string]int{},
+	}
 	for _, spec := range cfg.Devices {
 		count := spec.Count
 		if count == 0 {
@@ -89,55 +107,132 @@ func New(cfg Config) (*Fleet, error) {
 		if count < 0 {
 			return nil, fmt.Errorf("fleet: negative device count for %q", spec.Platform)
 		}
-		p, ok := soc.PlatformByName(spec.Platform)
-		if !ok {
-			return nil, fmt.Errorf("fleet: unknown platform %q", spec.Platform)
-		}
-		var shared *serve.Cache
-		if !cfg.PrivateCaches {
-			if c, ok := f.caches[p.Name]; ok {
-				shared = c
-			} else {
-				c, err := serve.NewCache(serve.CacheConfig{
-					Platform:        p,
-					Objective:       cfg.Objective,
-					Solve:           cfg.Policy == serve.ContentionAware,
-					SolverTimeScale: cfg.SolverTimeScale,
-					MaxGroups:       cfg.MaxGroups,
-				})
-				if err != nil {
-					return nil, err
-				}
-				f.caches[p.Name] = c
-				shared = c
+		for i := 0; i < count; i++ {
+			if _, err := f.AddDevice(spec.Platform); err != nil {
+				return nil, err
 			}
 		}
-		for i := 0; i < count; i++ {
-			rt, err := serve.New(serve.Config{
+	}
+	return f, nil
+}
+
+// AddDevice grows the pool by one device of the named platform, registering
+// it with the platform's shared schedule cache (created on first use, so a
+// device of an unseen platform brings its cache into existence — the hook
+// internal/control seeds transferred entries through). The device joins
+// with a fresh virtual timeline and is immediately placeable. Returns the
+// new device.
+func (f *Fleet) AddDevice(platform string) (serve.Device, error) {
+	p, ok := soc.PlatformByName(platform)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown platform %q", platform)
+	}
+	var shared *serve.Cache
+	if !f.cfg.PrivateCaches {
+		if c, ok := f.caches[p.Name]; ok {
+			shared = c
+		} else {
+			c, err := serve.NewCache(serve.CacheConfig{
 				Platform:        p,
-				Name:            fmt.Sprintf("%s/%d", p.Name, perPlatform[p.Name]),
-				Objective:       cfg.Objective,
-				Policy:          cfg.Policy,
-				MaxBatch:        cfg.MaxBatch,
-				MaxQueue:        cfg.MaxQueue,
-				AdmitSLOFactor:  cfg.AdmitSLOFactor,
-				SolverTimeScale: cfg.SolverTimeScale,
-				MaxGroups:       cfg.MaxGroups,
-				SharedCache:     shared,
+				Objective:       f.cfg.Objective,
+				Solve:           f.cfg.Policy == serve.ContentionAware,
+				SolverTimeScale: f.cfg.SolverTimeScale,
+				MaxGroups:       f.cfg.MaxGroups,
 			})
 			if err != nil {
 				return nil, err
 			}
-			perPlatform[p.Name]++
-			f.devices = append(f.devices, rt)
+			f.caches[p.Name] = c
+			shared = c
 		}
 	}
-	f.placed = make([]int, len(f.devices))
-	return f, nil
+	rt, err := serve.New(serve.Config{
+		Platform:        p,
+		Name:            fmt.Sprintf("%s/%d", p.Name, f.perPlatform[p.Name]),
+		Objective:       f.cfg.Objective,
+		Policy:          f.cfg.Policy,
+		MaxBatch:        f.cfg.MaxBatch,
+		MaxQueue:        f.cfg.MaxQueue,
+		AdmitSLOFactor:  f.cfg.AdmitSLOFactor,
+		SolverTimeScale: f.cfg.SolverTimeScale,
+		MaxGroups:       f.cfg.MaxGroups,
+		SharedCache:     shared,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.perPlatform[p.Name]++
+	f.devices = append(f.devices, rt)
+	f.placed = append(f.placed, 0)
+	f.draining = append(f.draining, false)
+	f.removed = append(f.removed, false)
+	return rt, nil
 }
 
-// Devices exposes the pool (for inspection and tests).
+// Drain marks a device as draining: it takes no new placements but keeps
+// stepping until its queue empties. The last placeable device cannot be
+// drained — the fleet must always have somewhere to put an arrival.
+func (f *Fleet) Drain(i int) error {
+	if i < 0 || i >= len(f.devices) {
+		return fmt.Errorf("fleet: drain of device %d of %d", i, len(f.devices))
+	}
+	if f.draining[i] || f.removed[i] {
+		return nil
+	}
+	rest := 0
+	for j := range f.devices {
+		if j != i && f.placeable(j) {
+			rest++
+		}
+	}
+	if rest == 0 {
+		return fmt.Errorf("fleet: cannot drain the last placeable device %s", f.devices[i].Name())
+	}
+	f.draining[i] = true
+	return nil
+}
+
+// Draining reports whether device i is draining (and not yet removed).
+func (f *Fleet) Draining(i int) bool {
+	return i >= 0 && i < len(f.devices) && f.draining[i] && !f.removed[i]
+}
+
+// Removable reports whether device i has drained dry: marked draining, not
+// yet removed, and with no in-flight work left.
+func (f *Fleet) Removable(i int) bool {
+	return f.Draining(i) && f.devices[i].QueueDepth() == 0
+}
+
+// Remove retires a drained, empty device. Its recorded completions stay
+// part of the run's summary; it is never placed on or stepped again.
+func (f *Fleet) Remove(i int) error {
+	if !f.Removable(i) {
+		return fmt.Errorf("fleet: device %d is not drained dry", i)
+	}
+	f.removed[i] = true
+	return nil
+}
+
+// placeable reports whether device i may receive new placements.
+func (f *Fleet) placeable(i int) bool { return !f.draining[i] && !f.removed[i] }
+
+// Devices exposes the pool (for inspection and tests), including drained
+// and removed members.
 func (f *Fleet) Devices() []serve.Device { return f.devices }
+
+// Cache returns the shared schedule cache of a platform group (nil when the
+// platform has no devices yet or the fleet runs private caches).
+func (f *Fleet) Cache(platform string) *serve.Cache { return f.caches[platform] }
+
+// CachePlatforms lists the platform groups with shared caches, sorted.
+func (f *Fleet) CachePlatforms() []string {
+	names := make([]string, 0, len(f.caches))
+	for name := range f.caches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Pool describes the pool compactly ("Orin+Orin+Xavier+SD865").
 func (f *Fleet) Pool() string {
@@ -148,40 +243,112 @@ func (f *Fleet) Pool() string {
 	return strings.Join(names, "+")
 }
 
-// views snapshots the pool state a placement decision steers by. A
-// load-blind placer gets identity-only views: the backlog and standalone
+// views snapshots the placeable pool state a placement decision steers by.
+// A load-blind placer gets identity-only views: the backlog and standalone
 // estimates cost an O(queue) scan per device per arrival, and round-robin
 // would throw them away.
 func (f *Fleet) views(req serve.Request) ([]DeviceView, error) {
-	views := make([]DeviceView, len(f.devices))
-	if !f.placer.LoadAware() {
-		for i, d := range f.devices {
-			views[i] = DeviceView{Index: i, Name: d.Name(), Platform: d.Platform().Name}
-		}
-		return views, nil
-	}
+	views := make([]DeviceView, 0, len(f.devices))
+	loadAware := f.placer.LoadAware()
 	for i, d := range f.devices {
-		backlog, err := d.BacklogMs()
-		if err != nil {
-			return nil, err
+		if !f.placeable(i) {
+			continue
 		}
-		// An unknown network has no profile on any device; placement is
-		// load-only and the chosen device's admission rejects it.
-		standalone, err := d.StandaloneMs(req.Network)
-		if err != nil {
-			standalone = 0
+		v := DeviceView{Index: i, Name: d.Name(), Platform: d.Platform().Name}
+		if loadAware {
+			backlog, err := d.BacklogMs()
+			if err != nil {
+				return nil, err
+			}
+			// An unknown network has no profile on any device; placement is
+			// load-only and the chosen device's admission rejects it.
+			standalone, err := d.StandaloneMs(req.Network)
+			if err != nil {
+				standalone = 0
+			}
+			v.QueueDepth = d.QueueDepth()
+			v.FreeAtMs = d.ClockMs()
+			v.BacklogMs = backlog
+			v.StandaloneMs = standalone
 		}
-		views[i] = DeviceView{
-			Index:        i,
-			Name:         d.Name(),
-			Platform:     d.Platform().Name,
-			QueueDepth:   d.QueueDepth(),
-			FreeAtMs:     d.ClockMs(),
-			BacklogMs:    backlog,
-			StandaloneMs: standalone,
-		}
+		views = append(views, v)
+	}
+	if len(views) == 0 {
+		return nil, fmt.Errorf("fleet: no placeable devices")
 	}
 	return views, nil
+}
+
+// Offer places one arriving request: the placement policy chooses among
+// the placeable devices and the chosen device's admission controller judges
+// the request. Requests must be offered in nondecreasing arrival order.
+// Returns the chosen device index and whether the device rejected it.
+func (f *Fleet) Offer(req serve.Request) (int, bool, error) {
+	views, err := f.views(req)
+	if err != nil {
+		return -1, false, err
+	}
+	j := f.placer.Place(req, views)
+	if j < 0 || j >= len(f.devices) || !f.placeable(j) {
+		return -1, false, fmt.Errorf("fleet: placement %s chose device %d of %d", f.placer.Name(), j, len(f.devices))
+	}
+	rejected, err := f.devices[j].Offer(req)
+	if err != nil {
+		return -1, false, err
+	}
+	f.placed[j]++
+	return j, rejected, nil
+}
+
+// NextRound returns the device whose next dispatch round starts earliest
+// and that start time; ties go to the lowest index so the interleaving is
+// deterministic. (-1, +Inf) when every device is idle.
+func (f *Fleet) NextRound() (int, float64) {
+	di, tDev := -1, math.Inf(1)
+	for i, d := range f.devices {
+		if f.removed[i] {
+			continue
+		}
+		if s := d.NextStartMs(); s < tDev {
+			di, tDev = i, s
+		}
+	}
+	return di, tDev
+}
+
+// Step executes one dispatch round on device i.
+func (f *Fleet) Step(i int) error {
+	if i < 0 || i >= len(f.devices) {
+		return fmt.Errorf("fleet: step of device %d of %d", i, len(f.devices))
+	}
+	return f.devices[i].Step()
+}
+
+// Pending returns the total number of admitted, undispatched requests
+// across the pool.
+func (f *Fleet) Pending() int {
+	n := 0
+	for _, d := range f.devices {
+		n += d.QueueDepth()
+	}
+	return n
+}
+
+// Rewind resets every device to a fresh virtual timeline, rewinds the
+// shared caches (entries stay warm) and clears the placement state. Pool
+// membership persists — devices added by AddDevice stay — and drain and
+// removal flags clear, so the whole pool starts the new run active.
+func (f *Fleet) Rewind() {
+	for i, d := range f.devices {
+		d.Reset()
+		f.placed[i] = 0
+		f.draining[i] = false
+		f.removed[i] = false
+	}
+	for _, c := range f.caches {
+		c.Rewind()
+	}
+	f.placer.Reset()
 }
 
 // Serve executes the trace across the pool in one shared virtual timeline
@@ -194,55 +361,31 @@ func (f *Fleet) Serve(tr serve.Trace) (*Summary, error) {
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("fleet: empty trace")
 	}
-	for _, d := range f.devices {
-		d.Reset()
-	}
-	for _, c := range f.caches {
-		c.Rewind()
-	}
-	f.placer.Reset()
-	f.placed = make([]int, len(f.devices))
+	f.Rewind()
 
 	reqs := append(serve.Trace(nil), tr...)
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].ArrivalMs < reqs[j].ArrivalMs })
 
 	next := 0
 	for {
-		// The earliest device round start; ties go to the lowest index so
-		// the interleaving is deterministic.
-		di, tDev := -1, 0.0
-		for i, d := range f.devices {
-			if s := d.NextStartMs(); di < 0 || s < tDev {
-				di, tDev = i, s
-			}
-		}
+		di, tDev := f.NextRound()
 		// Arrivals at or before the next round boundary are placed first,
 		// mirroring the single-device loop's admit-then-dispatch order.
 		if next < len(reqs) && reqs[next].ArrivalMs <= tDev {
-			req := reqs[next]
+			if _, _, err := f.Offer(reqs[next]); err != nil {
+				return nil, err
+			}
 			next++
-			views, err := f.views(req)
-			if err != nil {
-				return nil, err
-			}
-			j := f.placer.Place(req, views)
-			if j < 0 || j >= len(f.devices) {
-				return nil, fmt.Errorf("fleet: placement %s chose device %d of %d", f.placer.Name(), j, len(f.devices))
-			}
-			if _, err := f.devices[j].Offer(req); err != nil {
-				return nil, err
-			}
-			f.placed[j]++
 			continue
 		}
 		if di < 0 || f.devices[di].QueueDepth() == 0 {
 			break // no arrivals left, every device drained
 		}
-		if err := f.devices[di].Step(); err != nil {
+		if err := f.Step(di); err != nil {
 			return nil, err
 		}
 	}
-	return f.summarize(), nil
+	return f.Summarize(), nil
 }
 
 // Comparison holds one trace served on a single SoC and on the fleet under

@@ -275,6 +275,160 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 }
 
+// TestPlacementTieBreakPinned is the map-iteration-nondeterminism audit's
+// regression test: on equal-load pools every built-in policy must break
+// ties toward the lowest device Index — the device's stable pool ID — no
+// matter what order the views arrive in. Reversed and shuffled view
+// slices exercise exactly the ordering a dynamic pool (or a future
+// map-backed view source) could produce.
+func TestPlacementTieBreakPinned(t *testing.T) {
+	equal := func(indices ...int) []DeviceView {
+		views := make([]DeviceView, len(indices))
+		for i, idx := range indices {
+			views[i] = DeviceView{Index: idx, Name: "Orin/x", Platform: "Orin",
+				FreeAtMs: 10, BacklogMs: 5, StandaloneMs: 2}
+		}
+		return views
+	}
+	req := serve.Request{Tenant: "alice", Network: "VGG19", ArrivalMs: 0}
+	for _, name := range []string{"least-loaded", "affinity"} {
+		pl, err := NewPlacer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, views := range [][]DeviceView{
+			equal(0, 1, 2), equal(2, 1, 0), equal(1, 2, 0),
+		} {
+			if got := pl.Place(req, views); got != 0 {
+				t.Errorf("%s: equal-load views %v placed on %d, want 0", name, views, got)
+			}
+		}
+		// A strictly better device wins regardless of position.
+		views := equal(2, 0, 1)
+		views[0].BacklogMs = 0
+		if got := pl.Place(req, views); got != 2 {
+			t.Errorf("%s: best device at index 2 lost the tie-break audit: got %d", name, got)
+		}
+	}
+	// Round-robin must cycle over view positions but return pool IDs.
+	rr := RoundRobin()
+	views := equal(3, 5, 7)
+	want := []int{3, 5, 7, 3}
+	for i, w := range want {
+		if got := rr.Place(req, views); got != w {
+			t.Errorf("round-robin call %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestEqualLoadPoolDeterminism serves the demo trace twice on a pool of
+// identical devices — the equal-load case where tie-breaks decide every
+// placement — and requires byte-identical summaries.
+func TestEqualLoadPoolDeterminism(t *testing.T) {
+	for _, name := range []string{"least-loaded", "affinity"} {
+		run := func() *Summary {
+			pl, _ := NewPlacer(name)
+			f, err := New(Config{
+				Devices:         []DeviceSpec{{Platform: "Orin", Count: 3}},
+				Placement:       pl,
+				SolverTimeScale: 50,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := f.Serve(defaultTrace(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sum
+		}
+		if !bytes.Equal(mustJSON(t, run()), mustJSON(t, run())) {
+			t.Errorf("%s: equal-load pool runs diverged", name)
+		}
+	}
+}
+
+// TestDynamicMembership exercises the elastic-pool protocol: AddDevice
+// naming and cache registration, Drain excluding a device from placement
+// while it finishes queued work, and Remove requiring a drained-dry
+// device.
+func TestDynamicMembership(t *testing.T) {
+	f, err := New(Config{Devices: []DeviceSpec{{Platform: "Orin"}}, SolverTimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.AddDevice("Orin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "Orin/1" {
+		t.Errorf("added device named %q, want Orin/1", d.Name())
+	}
+	if x, err := f.AddDevice("Xavier"); err != nil || x.Name() != "Xavier/0" {
+		t.Errorf("AddDevice(Xavier) = %v, %v", x, err)
+	}
+	if _, err := f.AddDevice("Exynos"); err == nil {
+		t.Error("AddDevice accepted an unknown platform")
+	}
+	if got := f.Pool(); got != "Orin+Orin+Xavier" {
+		t.Errorf("pool = %q", got)
+	}
+	if f.Cache("Orin") == nil || f.Cache("Xavier") == nil {
+		t.Error("platform caches not registered on AddDevice")
+	}
+
+	// Queue a request on device 1, then drain it: no new placements land
+	// there, but its queued work still steps.
+	req := serve.Request{Tenant: "alice", Network: "VGG19", ArrivalMs: 0, SLOMs: 10}
+	if rejected, err := d.Offer(req); err != nil || rejected {
+		t.Fatalf("offer: rejected=%v err=%v", rejected, err)
+	}
+	if err := f.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Draining(1) {
+		t.Error("device 1 not draining")
+	}
+	if err := f.Remove(1); err == nil {
+		t.Error("Remove succeeded with work still queued")
+	}
+	for i := 0; i < 50; i++ {
+		req.ArrivalMs = float64(i)
+		if j, _, err := f.Offer(req); err != nil {
+			t.Fatal(err)
+		} else if j == 1 {
+			t.Fatal("placement chose a draining device")
+		}
+	}
+	if !f.Removable(1) {
+		if err := f.Step(1); err != nil { // drain the queued round
+			t.Fatal(err)
+		}
+	}
+	if !f.Removable(1) {
+		t.Fatal("drained device with empty queue not removable")
+	}
+	if err := f.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if di, _ := f.NextRound(); di == 1 {
+		t.Error("removed device offered for stepping")
+	}
+
+	// The last placeable device cannot be drained.
+	if err := f.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Drain(2); err == nil {
+		t.Error("drained the last placeable device")
+	}
+	// Rewind restores the whole pool to active.
+	f.Rewind()
+	if f.Draining(0) || !f.placeable(1) {
+		t.Error("Rewind did not clear drain/removal flags")
+	}
+}
+
 func mustPlatform(t *testing.T, name string) *soc.Platform {
 	t.Helper()
 	p, ok := soc.PlatformByName(name)

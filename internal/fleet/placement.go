@@ -1,6 +1,9 @@
 // Placement policies: how the fleet dispatcher chooses a device for each
-// arriving request. Policies are deterministic — ties always break toward
-// the lowest device index — so fleet runs are exactly reproducible.
+// arriving request. Policies are deterministic — scores tie toward the
+// lowest device Index (the device's stable pool ID), never toward whatever
+// order the views happen to arrive in — so fleet runs are exactly
+// reproducible even when the control plane filters draining devices out of
+// the candidate set.
 package fleet
 
 import (
@@ -12,9 +15,12 @@ import (
 )
 
 // DeviceView is the per-device load snapshot a placement decision steers
-// by, taken at the request's arrival instant.
+// by, taken at the request's arrival instant. With a static pool the views
+// arrive in Index order; a dynamic pool may filter draining or removed
+// devices out, so Place must select by Index, not slice position.
 type DeviceView struct {
-	// Index is the device's position in the pool.
+	// Index is the device's stable position in the pool (its ID). Place
+	// returns one of the views' Index values.
 	Index int
 	// Name and Platform identify the device ("Orin/1" on "Orin").
 	Name     string
@@ -31,8 +37,8 @@ type DeviceView struct {
 	StandaloneMs float64
 }
 
-// startMs is when a request placed now could start on the device.
-func (v DeviceView) startMs(arrivalMs float64) float64 {
+// StartMs is when a request placed now could start on the device.
+func (v DeviceView) StartMs(arrivalMs float64) float64 {
 	return math.Max(v.FreeAtMs, arrivalMs) + v.BacklogMs
 }
 
@@ -40,7 +46,7 @@ func (v DeviceView) startMs(arrivalMs float64) float64 {
 type Placer interface {
 	// Name identifies the policy ("round-robin", "least-loaded", "affinity").
 	Name() string
-	// Place returns the index of the chosen device.
+	// Place returns the Index of the chosen view (the device's pool ID).
 	Place(req serve.Request, devices []DeviceView) int
 	// Reset clears any routing state before a fresh run.
 	Reset()
@@ -48,6 +54,20 @@ type Placer interface {
 	// (QueueDepth, FreeAtMs, BacklogMs, StandaloneMs). A load-blind
 	// policy lets the fleet skip the per-arrival backlog estimation.
 	LoadAware() bool
+}
+
+// minByScore returns the Index of the view with the lowest score, breaking
+// score ties toward the lowest Index regardless of view order — the pinned
+// tie-break every built-in policy shares.
+func minByScore(devices []DeviceView, score func(DeviceView) float64) int {
+	best, bestScore := -1, math.Inf(1)
+	for _, v := range devices {
+		s := score(v)
+		if best < 0 || s < bestScore || (s == bestScore && v.Index < best) {
+			best, bestScore = v.Index, s
+		}
+	}
+	return best
 }
 
 // roundRobin cycles through the pool regardless of load: the blind
@@ -63,7 +83,7 @@ func (p *roundRobin) LoadAware() bool { return false }
 func (p *roundRobin) Place(_ serve.Request, devices []DeviceView) int {
 	i := p.next % len(devices)
 	p.next++
-	return i
+	return devices[i].Index
 }
 
 // leastLoaded routes to the device where the request could start earliest:
@@ -78,13 +98,7 @@ func (leastLoaded) Name() string    { return "least-loaded" }
 func (leastLoaded) Reset()          {}
 func (leastLoaded) LoadAware() bool { return true }
 func (leastLoaded) Place(req serve.Request, devices []DeviceView) int {
-	best, bestScore := 0, math.Inf(1)
-	for i, v := range devices {
-		if s := v.startMs(req.ArrivalMs); s < bestScore {
-			best, bestScore = i, s
-		}
-	}
-	return best
+	return minByScore(devices, func(v DeviceView) float64 { return v.StartMs(req.ArrivalMs) })
 }
 
 // affinity routes each network to the device whose profile serves it
@@ -101,13 +115,9 @@ func (affinity) Name() string    { return "affinity" }
 func (affinity) Reset()          {}
 func (affinity) LoadAware() bool { return true }
 func (affinity) Place(req serve.Request, devices []DeviceView) int {
-	best, bestScore := 0, math.Inf(1)
-	for i, v := range devices {
-		if s := v.startMs(req.ArrivalMs) + v.StandaloneMs; s < bestScore {
-			best, bestScore = i, s
-		}
-	}
-	return best
+	return minByScore(devices, func(v DeviceView) float64 {
+		return v.StartMs(req.ArrivalMs) + v.StandaloneMs
+	})
 }
 
 // Placements lists the built-in policy names.

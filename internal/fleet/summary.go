@@ -63,8 +63,10 @@ type Summary struct {
 	Caches  []CacheStats
 }
 
-// summarize assembles the fleet summary from the devices' recorded state.
-func (f *Fleet) summarize() *Summary {
+// Summarize assembles the fleet summary from the devices' recorded state
+// so far. Serve calls it at end of trace; a control plane may also call it
+// after driving the fleet through the stepping primitives itself.
+func (f *Fleet) Summarize() *Summary {
 	sum := &Summary{
 		Placement: f.placer.Name(),
 		Policy:    f.cfg.Policy.String(),

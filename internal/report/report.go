@@ -10,6 +10,7 @@ import (
 	"io"
 	"strconv"
 
+	"haxconn/internal/control"
 	"haxconn/internal/experiments"
 	"haxconn/internal/fleet"
 	"haxconn/internal/profiler"
@@ -245,6 +246,67 @@ func FleetComparisonCSV(w io.Writer, cmp *fleet.Comparison) error {
 			cmp.P99ImprovementPct(fs), cmp.ViolationsAvoided(fs)); err != nil {
 			return err
 		}
+	}
+	return c.flush()
+}
+
+// ControlCSV writes a control-plane run as one event-sourced table: the
+// pool-size timeline ("pool" rows, one per control tick), the scaling
+// events ("scale" rows: grow/drain/remove) and the migrations ("migration"
+// rows), all on the shared virtual timeline and sorted as recorded. Sparse
+// columns are empty for rows of another kind.
+func ControlCSV(w io.Writer, sum *control.Summary) error {
+	c := newCSV(w)
+	if err := c.row("kind", "at_ms", "active", "draining", "backlog_ms",
+		"utilization_pct", "action", "device", "platform", "seeded",
+		"tenant", "from", "to", "reason", "rolling_p99_ms", "violation_rate"); err != nil {
+		return err
+	}
+	for _, s := range sum.Timeline {
+		if err := c.row("pool", s.AtMs, s.Active, s.Draining, s.BacklogMs,
+			s.UtilizationPct, "", "", "", "", "", "", "", "", "", ""); err != nil {
+			return err
+		}
+	}
+	for _, e := range sum.Scale {
+		if err := c.row("scale", e.AtMs, e.Active, "", e.BacklogMs, "",
+			e.Action, e.Device, e.Platform, e.Seeded, "", "", "", "", "", ""); err != nil {
+			return err
+		}
+	}
+	for _, m := range sum.Migrations {
+		if err := c.row("migration", m.AtMs, "", "", "", "", "", "", "", "",
+			m.Tenant, m.From, m.To, m.Reason, m.RollingP99Ms, m.ViolationRate); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// ControlComparisonCSV writes the controlled-vs-static comparison: one row
+// per configuration with p99, violations, SLO attainment and device-time,
+// plus the controlled fleet's peak pool and decision counts.
+func ControlComparisonCSV(w io.Writer, cmp *control.CompareResult) error {
+	c := newCSV(w)
+	if err := c.row("config", "pool", "p50_ms", "p99_ms", "violations",
+		"throughput_rps", "slo_attainment_pct", "device_ms", "peak_devices",
+		"scale_events", "migrations", "seeded_entries"); err != nil {
+		return err
+	}
+	ct := cmp.Controlled.Fleet.Total
+	if err := c.row("controlled:sticky", cmp.Controlled.Fleet.Pool,
+		ct.P50Ms, ct.P99Ms, ct.Violations, ct.ThroughputRPS,
+		cmp.Controlled.Fleet.SLOAttainmentPct, cmp.Controlled.DeviceMs,
+		cmp.Controlled.PeakDevices, len(cmp.Controlled.Scale),
+		len(cmp.Controlled.Migrations), cmp.Controlled.SeededEntries); err != nil {
+		return err
+	}
+	st := cmp.Static.Total
+	if err := c.row("static:"+cmp.StaticPlacement, cmp.Static.Pool,
+		st.P50Ms, st.P99Ms, st.Violations, st.ThroughputRPS,
+		cmp.Static.SLOAttainmentPct, cmp.StaticDeviceMs,
+		len(cmp.Static.Devices), 0, 0, 0); err != nil {
+		return err
 	}
 	return c.flush()
 }

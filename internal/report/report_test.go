@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"haxconn/internal/control"
 	"haxconn/internal/experiments"
 	"haxconn/internal/fleet"
 	"haxconn/internal/schedule"
@@ -222,5 +223,79 @@ func TestFleetCSV(t *testing.T) {
 	}
 	if recs[1][0] != "single:Orin" || recs[2][0] != "fleet:least-loaded" {
 		t.Errorf("config column: %v", recs)
+	}
+}
+
+func sampleControl(t *testing.T) *control.CompareResult {
+	t.Helper()
+	tr, err := control.DemoBurstTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := control.Compare(control.Config{
+		Fleet: fleet.Config{
+			Devices:         []fleet.DeviceSpec{{Platform: "Orin"}},
+			SolverTimeScale: 50,
+		},
+		MaxDevices:    3,
+		GrowPlatforms: []string{"Xavier", "SD865"},
+	}, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp
+}
+
+func TestControlCSV(t *testing.T) {
+	cmp := sampleControl(t)
+	var buf bytes.Buffer
+	if err := ControlCSV(&buf, cmp.Controlled); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + len(cmp.Controlled.Timeline) + len(cmp.Controlled.Scale) + len(cmp.Controlled.Migrations)
+	if len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+	if recs[0][0] != "kind" || recs[1][0] != "pool" {
+		t.Errorf("header/first rows: %v %v", recs[0], recs[1])
+	}
+	kinds := map[string]int{}
+	for _, r := range recs[1:] {
+		kinds[r[0]]++
+	}
+	if kinds["pool"] != len(cmp.Controlled.Timeline) ||
+		kinds["scale"] != len(cmp.Controlled.Scale) ||
+		kinds["migration"] != len(cmp.Controlled.Migrations) {
+		t.Errorf("row kinds %v vs timeline %d, scale %d, migrations %d",
+			kinds, len(cmp.Controlled.Timeline), len(cmp.Controlled.Scale), len(cmp.Controlled.Migrations))
+	}
+	if kinds["scale"] == 0 || kinds["migration"] == 0 {
+		t.Error("sample run produced no scale or migration rows; the CSV coverage is vacuous")
+	}
+}
+
+func TestControlComparisonCSV(t *testing.T) {
+	cmp := sampleControl(t)
+	var buf bytes.Buffer
+	if err := ControlComparisonCSV(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + controlled + static
+	if len(recs) != 3 {
+		t.Fatalf("%d records: %v", len(recs), recs)
+	}
+	if recs[1][0] != "controlled:sticky" || recs[2][0] != "static:least-loaded" {
+		t.Errorf("config column: %v", recs)
+	}
+	if recs[1][7] == recs[2][7] {
+		t.Errorf("device_ms identical for controlled and static: %v", recs[1][7])
 	}
 }

@@ -91,6 +91,12 @@ type Entry struct {
 	// Any is the background solver's run — its incumbent stream drives
 	// upgrades (nil when the cache does not solve).
 	Any *solver.Anytime
+	// Seeded is a schedule the entry was born with instead of discovered:
+	// either transferred from another platform's solved entry and re-costed
+	// on this platform (SeedFromSchedule), or restored from a persisted
+	// snapshot (Import). When the entry has no incumbent stream, Use
+	// deploys it in place of the naive schedule.
+	Seeded *schedule.Schedule
 	// CreatedMs is the virtual time of the miss — the background solve
 	// starts then.
 	CreatedMs float64
@@ -115,6 +121,9 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 
 // Len returns the number of cached mixes.
 func (c *Cache) Len() int { return len(c.entries) }
+
+// Platform returns the SoC the cache characterizes and solves for.
+func (c *Cache) Platform() *soc.Platform { return c.cfg.Platform }
 
 // Rewind re-anchors the cache to the start of a fresh virtual timeline and
 // zeroes the effectiveness counters. Entries stay warm but become settled:
@@ -152,18 +161,42 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 		return e, true, nil
 	}
 	c.Misses++
-	req := core.Request{
+	e, err := c.build(key, canon, nowMs)
+	if err != nil {
+		return nil, false, err
+	}
+	if c.cfg.Solve {
+		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	c.entries[key] = e
+	return e, false, nil
+}
+
+// request is the core request resolving a canonical mix on this cache's
+// platform and objective.
+func (c *Cache) request(canon []string) core.Request {
+	return core.Request{
 		Platform:   c.cfg.Platform,
 		Networks:   canon,
 		Objective:  c.cfg.Objective,
 		MaxGroups:  c.cfg.MaxGroups,
 		TimeBudget: c.cfg.TimeBudget,
 	}
-	prob, pr, err := core.Prepare(req)
+}
+
+// build characterizes a canonical mix into an unsolved entry (problem,
+// profile, naive schedule). It does not register the entry or touch the
+// effectiveness counters — Lookup, SeedFromSchedule and Import each finish
+// it their own way.
+func (c *Cache) build(key string, canon []string, nowMs float64) (*Entry, error) {
+	prob, pr, err := core.Prepare(c.request(canon))
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	e := &Entry{
+	return &Entry{
 		Key:       key,
 		Networks:  canon,
 		Prob:      prob,
@@ -172,15 +205,7 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 		CreatedMs: nowMs,
 		cache:     c,
 		evals:     map[string]*schedule.Eval{},
-	}
-	if c.cfg.Solve {
-		e.Any, err = core.AnytimeFromProfile(req, prob, pr)
-		if err != nil {
-			return nil, false, err
-		}
-	}
-	c.entries[key] = e
-	return e, false, nil
+	}, nil
 }
 
 // Use returns the schedule deployed for this entry at virtual time nowMs:
@@ -193,6 +218,9 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 // upgrade.
 func (e *Entry) Use(nowMs float64) *schedule.Schedule {
 	if e.Any == nil || len(e.Any.History) == 0 {
+		if e.Seeded != nil {
+			return e.Seeded
+		}
 		return e.Naive
 	}
 	nodes := e.Any.History[len(e.Any.History)-1].Nodes
@@ -215,6 +243,9 @@ func (e *Entry) Use(nowMs float64) *schedule.Schedule {
 // Best returns the entry's final (best-known) schedule.
 func (e *Entry) Best() *schedule.Schedule {
 	if e.Any == nil || e.Any.Best == nil {
+		if e.Seeded != nil {
+			return e.Seeded
+		}
 		return e.Naive
 	}
 	return e.Any.Best

@@ -32,6 +32,10 @@ type Device interface {
 	ClockMs() float64
 	// QueueDepth is the number of admitted, undispatched requests.
 	QueueDepth() int
+	// BusyMs is the total virtual time spent executing dispatch rounds —
+	// divided by elapsed virtual time it is the device's utilization, the
+	// signal the control plane's autoscaler samples.
+	BusyMs() float64
 	// BacklogMs estimates the queueing delay a new arrival would see.
 	BacklogMs() (float64, error)
 	// StandaloneMs estimates a network's contention-free service time on

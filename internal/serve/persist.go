@@ -1,0 +1,205 @@
+// Cache persistence and cross-platform transfer: solved schedule-cache
+// entries serialized to JSON so restarts skip re-solving known mixes
+// (Export/Import, the -cache-save/-cache-load flags of cmd/serve and
+// cmd/fleet), and entries seeded from another platform's solved assignment
+// re-costed on this platform's profile (SeedFromSchedule) — so a device of
+// an unseen platform joining a fleet starts from a transferred schedule
+// instead of a naive one.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
+)
+
+// EntrySnapshot is one persisted cache entry: a canonical workload mix and
+// the best-known assignment for it. The characterization tables are not
+// persisted — they are deterministic in (platform, mix, max groups) and are
+// recomputed on load.
+type EntrySnapshot struct {
+	Networks []string `json:"networks"`
+	Assign   [][]int  `json:"assign"`
+}
+
+// CacheSnapshot is a persisted schedule cache: the configuration that keys
+// its entries plus the solved assignments, sorted by mix for stable diffs.
+type CacheSnapshot struct {
+	Platform  string          `json:"platform"`
+	Objective string          `json:"objective"`
+	MaxGroups int             `json:"max_groups"`
+	Entries   []EntrySnapshot `json:"entries"`
+}
+
+// Export snapshots the cache's solved state: every entry's mix and
+// best-known schedule, in sorted key order.
+func (c *Cache) Export() *CacheSnapshot {
+	snap := &CacheSnapshot{
+		Platform:  c.cfg.Platform.Name,
+		Objective: c.cfg.Objective.String(),
+		MaxGroups: c.cfg.MaxGroups,
+	}
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := c.entries[k]
+		snap.Entries = append(snap.Entries, EntrySnapshot{
+			Networks: append([]string(nil), e.Networks...),
+			Assign:   e.Best().Clone().Assign,
+		})
+	}
+	return snap
+}
+
+// Import restores persisted entries into the cache: each mix is
+// re-characterized on this platform and registered as a settled entry
+// deploying the snapshotted schedule, so serving it is a cache hit that
+// skips both the solve and the upgrade replay. Entries already present are
+// left untouched. The snapshot's platform, objective and group cap must
+// match the cache's. Returns the number of entries restored.
+func (c *Cache) Import(snap *CacheSnapshot) (int, error) {
+	if snap == nil {
+		return 0, fmt.Errorf("serve: nil cache snapshot")
+	}
+	if snap.Platform != c.cfg.Platform.Name {
+		return 0, fmt.Errorf("serve: snapshot is for platform %s, cache for %s", snap.Platform, c.cfg.Platform.Name)
+	}
+	if snap.Objective != c.cfg.Objective.String() {
+		return 0, fmt.Errorf("serve: snapshot objective %s != cache objective %s", snap.Objective, c.cfg.Objective)
+	}
+	if snap.MaxGroups != c.cfg.MaxGroups {
+		return 0, fmt.Errorf("serve: snapshot max groups %d != cache %d", snap.MaxGroups, c.cfg.MaxGroups)
+	}
+	n := 0
+	for _, es := range snap.Entries {
+		key, canon := c.mixKey(es.Networks)
+		if _, ok := c.entries[key]; ok {
+			continue
+		}
+		e, err := c.build(key, canon, 0)
+		if err != nil {
+			return n, err
+		}
+		s := &schedule.Schedule{}
+		for _, row := range es.Assign {
+			s.Assign = append(s.Assign, append([]int(nil), row...))
+		}
+		if err := s.Validate(e.Profile); err != nil {
+			return n, fmt.Errorf("serve: snapshot entry %q: %w", key, err)
+		}
+		e.Seeded = s
+		e.settled = true
+		c.entries[key] = e
+		n++
+	}
+	return n, nil
+}
+
+// SeedFromSchedule creates the entry for a workload mix from another
+// platform's solved assignment: the mix is characterized on this cache's
+// platform, the donor schedule is remapped onto its accelerators and
+// re-costed on the ground-truth simulator, and — when it beats this
+// platform's naive schedule — deploys from the first hit while the
+// background solver (itself seeded with the transfer) keeps improving it.
+// nowMs anchors the background solve (the joining device's registration
+// time). An already-cached mix is left untouched. The boolean reports
+// whether the transferred schedule improved on the naive one.
+func (c *Cache) SeedFromSchedule(networks []string, donor *schedule.Schedule, nowMs float64) (bool, error) {
+	if donor == nil {
+		return false, fmt.Errorf("serve: nil donor schedule")
+	}
+	key, canon := c.mixKey(networks)
+	if _, ok := c.entries[key]; ok {
+		return false, nil
+	}
+	e, err := c.build(key, canon, nowMs)
+	if err != nil {
+		return false, err
+	}
+	if t := remapSchedule(donor, e.Profile); t != nil {
+		evN, errN := e.Evaluate(e.Naive)
+		evT, errT := e.Evaluate(t)
+		if errN == nil && errT == nil && evT.Cost < evN.Cost {
+			e.Seeded = t
+		}
+	}
+	if c.cfg.Solve {
+		e.Any, err = core.AnytimeFromProfileSeeded(c.request(canon), e.Prob, e.Profile, e.Seeded)
+		if err != nil {
+			return false, err
+		}
+	}
+	c.entries[key] = e
+	return e.Seeded != nil, nil
+}
+
+// remapSchedule maps a donor platform's assignment onto the target
+// profile's accelerators: indices legal on the target are kept, others fall
+// back deterministically onto the target's allowed list. The group shapes
+// must match (they do across the evaluated platforms, which share the
+// network zoo and group cap); nil when they cannot be reconciled.
+func remapSchedule(donor *schedule.Schedule, pr *schedule.Profile) *schedule.Schedule {
+	if len(donor.Assign) != len(pr.Groups) || len(pr.Allowed) == 0 {
+		return nil
+	}
+	allowed := map[int]bool{}
+	for _, a := range pr.Allowed {
+		allowed[a] = true
+	}
+	s := &schedule.Schedule{Assign: make([][]int, len(donor.Assign))}
+	for i, row := range donor.Assign {
+		if len(row) != len(pr.Groups[i]) {
+			return nil
+		}
+		s.Assign[i] = make([]int, len(row))
+		for g, a := range row {
+			if !allowed[a] {
+				a = pr.Allowed[((a%len(pr.Allowed))+len(pr.Allowed))%len(pr.Allowed)]
+			}
+			s.Assign[i][g] = a
+		}
+	}
+	if err := s.Validate(pr); err != nil {
+		return nil
+	}
+	return s
+}
+
+// cacheFile is the on-disk format of SaveCaches: one file may hold the
+// caches of several platform groups (cmd/fleet saves one per platform).
+type cacheFile struct {
+	Note   string           `json:"note"`
+	Caches []*CacheSnapshot `json:"caches"`
+}
+
+// SaveCaches serializes the caches' snapshots as indented JSON, sorted by
+// platform so repeated saves of the same state are byte-identical.
+func SaveCaches(w io.Writer, caches ...*Cache) error {
+	f := cacheFile{Note: "haxconn schedule-cache snapshot; load with -cache-load"}
+	for _, c := range caches {
+		if c != nil {
+			f.Caches = append(f.Caches, c.Export())
+		}
+	}
+	sort.Slice(f.Caches, func(i, j int) bool { return f.Caches[i].Platform < f.Caches[j].Platform })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// LoadSnapshots parses a SaveCaches file back into snapshots; the caller
+// matches them to caches by platform and calls Import.
+func LoadSnapshots(r io.Reader) ([]*CacheSnapshot, error) {
+	var f cacheFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("serve: parsing cache snapshot: %w", err)
+	}
+	return f.Caches, nil
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"haxconn/internal/schedule"
+	"haxconn/internal/soc"
+)
+
+func persistTrace(t *testing.T) Trace {
+	t.Helper()
+	tr, err := Generate([]TenantSpec{
+		{Name: "alice", Network: "VGG19", RateRPS: 140, SLOMs: 10},
+		{Name: "bob", Network: "ResNet152", RateRPS: 140, SLOMs: 12},
+	}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func newRuntime(t *testing.T, platform string) *Runtime {
+	t.Helper()
+	p, ok := soc.PlatformByName(platform)
+	if !ok {
+		t.Fatalf("unknown platform %q", platform)
+	}
+	rt, err := New(Config{Platform: p, SolverTimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestCacheSaveLoadRoundTrip is the warm-persistence acceptance: a run on
+// a cache loaded from a snapshot must produce byte-identical summaries to
+// a warm re-serve on the original cache, with zero misses — restarts skip
+// re-solving known mixes.
+func TestCacheSaveLoadRoundTrip(t *testing.T) {
+	tr := persistTrace(t)
+	rt := newRuntime(t, "Orin")
+	if _, err := rt.Serve(tr); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := rt.Serve(tr) // warm re-serve: settled entries deploy their best
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveCaches(&buf, rt.Cache()); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := LoadSnapshots(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Platform != "Orin" {
+		t.Fatalf("snapshots: %+v", snaps)
+	}
+	if len(snaps[0].Entries) != rt.Cache().Len() {
+		t.Fatalf("snapshot has %d entries, cache %d", len(snaps[0].Entries), rt.Cache().Len())
+	}
+
+	loaded := newRuntime(t, "Orin")
+	n, err := loaded.Cache().Import(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(snaps[0].Entries) {
+		t.Fatalf("imported %d of %d entries", n, len(snaps[0].Entries))
+	}
+	got, err := loaded.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheMisses != 0 {
+		t.Errorf("warm-loaded run missed %d times", got.CacheMisses)
+	}
+	a, _ := json.Marshal(warm)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Errorf("warm-loaded summary diverged from warm re-serve:\nwarm:   %s\nloaded: %s", a, b)
+	}
+
+	// Importing again over a warm cache is a no-op.
+	if n, err := loaded.Cache().Import(snaps[0]); err != nil || n != 0 {
+		t.Errorf("re-import: n=%d err=%v", n, err)
+	}
+}
+
+// TestCacheSaveDeterministic: exporting the same cache twice yields
+// byte-identical files (sorted entries), so snapshots diff cleanly.
+func TestCacheSaveDeterministic(t *testing.T) {
+	tr := persistTrace(t)
+	rt := newRuntime(t, "Orin")
+	if _, err := rt.Serve(tr); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := SaveCaches(&a, rt.Cache()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCaches(&b, rt.Cache()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same cache differ")
+	}
+}
+
+// TestImportValidation: snapshots for the wrong platform, objective or
+// group cap are rejected, as are malformed assignments.
+func TestImportValidation(t *testing.T) {
+	rt := newRuntime(t, "Orin")
+	cases := []struct {
+		name string
+		snap *CacheSnapshot
+	}{
+		{"nil", nil},
+		{"wrong platform", &CacheSnapshot{Platform: "Xavier", Objective: "MinLatency"}},
+		{"wrong objective", &CacheSnapshot{Platform: "Orin", Objective: "MaxFPS"}},
+		{"wrong max groups", &CacheSnapshot{Platform: "Orin", Objective: "MinLatency", MaxGroups: 7}},
+		{"bad assign", &CacheSnapshot{Platform: "Orin", Objective: "MinLatency",
+			Entries: []EntrySnapshot{{Networks: []string{"VGG19"}, Assign: [][]int{{99}}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := rt.Cache().Import(tc.snap); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestSeedFromScheduleBeatsNaiveColdStart is the cache-transfer
+// acceptance: an Orin-solved schedule transferred to a Xavier cache must
+// serve the mix's first hit with a measurably lower makespan than the
+// schedule a cold Xavier cache deploys at the same instant, and the first
+// lookup must be a hit rather than a miss.
+func TestSeedFromScheduleBeatsNaiveColdStart(t *testing.T) {
+	mix := []string{"ResNet152", "VGG19"}
+	newCache := func(platform string) *Cache {
+		p, _ := soc.PlatformByName(platform)
+		c, err := NewCache(CacheConfig{Platform: p, Objective: schedule.MinMaxLatency, Solve: true, SolverTimeScale: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	donor := newCache("Orin")
+	de, _, err := donor.Lookup(mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const joinMs = 500
+	cold := newCache("Xavier")
+	ce, hit, err := cold.Lookup(mix, joinMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold lookup reported a hit")
+	}
+	coldEval, err := ce.Evaluate(ce.Use(joinMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeded := newCache("Xavier")
+	improved, err := seeded.SeedFromSchedule(mix, de.Best(), joinMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !improved {
+		t.Fatal("transferred schedule did not improve on the naive one")
+	}
+	se, hit, err := seeded.Lookup(mix, joinMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("seeded cache missed on its first lookup")
+	}
+	seededEval, err := se.Evaluate(se.Use(joinMs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seededEval.MakespanMs >= coldEval.MakespanMs {
+		t.Errorf("seeded first hit (%.3f ms) not better than cold start (%.3f ms)",
+			seededEval.MakespanMs, coldEval.MakespanMs)
+	}
+	t.Logf("first-hit makespan: cold %.3f ms -> seeded %.3f ms (%.2f%% better)",
+		coldEval.MakespanMs, seededEval.MakespanMs,
+		100*(1-seededEval.MakespanMs/coldEval.MakespanMs))
+
+	// Seeding an already-cached mix is a no-op.
+	if improved, err := seeded.SeedFromSchedule(mix, de.Best(), joinMs); err != nil || improved {
+		t.Errorf("re-seed: improved=%v err=%v", improved, err)
+	}
+}

@@ -131,6 +131,7 @@ type Runtime struct {
 
 	// Virtual-timeline state, advanced by Offer and Step.
 	clockMs     float64 // end of the last dispatched round
+	busyMs      float64 // total round time (clock advance while dispatching)
 	pending     []Request
 	queued      map[string]int
 	completions []Completion
@@ -222,6 +223,11 @@ func (r *Runtime) ClockMs() float64 { return r.clockMs }
 // QueueDepth returns the number of admitted, undispatched requests.
 func (r *Runtime) QueueDepth() int { return len(r.pending) }
 
+// BusyMs returns the total virtual time the device spent executing
+// dispatch rounds — the numerator of its utilization. The control plane
+// windows successive readings over its tick period to decide scaling.
+func (r *Runtime) BusyMs() float64 { return r.busyMs }
+
 // Rounds returns the number of dispatch rounds executed so far.
 func (r *Runtime) Rounds() int { return r.rounds }
 
@@ -246,6 +252,7 @@ func (r *Runtime) CacheCounters() (hits, misses, upgrades int) {
 // per run across all devices).
 func (r *Runtime) Reset() {
 	r.clockMs = 0
+	r.busyMs = 0
 	r.pending = nil
 	r.queued = map[string]int{}
 	r.completions = nil
@@ -431,6 +438,7 @@ func (r *Runtime) Step() error {
 		r.completions = append(r.completions, c)
 	}
 	r.clockMs = start + ev.MakespanMs
+	r.busyMs += ev.MakespanMs
 	r.rounds++
 	return nil
 }
