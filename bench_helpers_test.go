@@ -20,11 +20,13 @@ var benchRecords = map[string]map[string]map[string]float64{}
 const (
 	benchFleetJSON   = "BENCH_fleet.json"
 	benchControlJSON = "BENCH_control.json"
+	benchServeJSON   = "BENCH_serve.json"
 )
 
 var benchNotes = map[string]string{
 	benchFleetJSON:   "regression baseline for solver incumbent quality and fleet throughput; regenerate with: go test -bench 'Fleet|IncumbentQuality' -benchtime=1x .",
 	benchControlJSON: "regression baseline for the control plane: controlled-vs-static p99, violations and device-time on the bursty trace; regenerate with: go test -bench Control -benchtime=1x .",
+	benchServeJSON:   "regression baseline for the dispatch path: fifo-vs-demand-balance mix forming on the mixed-demand trace; regenerate with: go test -bench ServeMix -benchtime=1x .",
 }
 
 // reportAndRecord reports each metric on the benchmark result line and
@@ -36,6 +38,11 @@ func reportAndRecord(b *testing.B, name string, metrics map[string]float64) {
 // reportAndRecordControl stages metrics for BENCH_control.json.
 func reportAndRecordControl(b *testing.B, name string, metrics map[string]float64) {
 	reportAndRecordTo(b, benchControlJSON, name, metrics)
+}
+
+// reportAndRecordServe stages metrics for BENCH_serve.json.
+func reportAndRecordServe(b *testing.B, name string, metrics map[string]float64) {
+	reportAndRecordTo(b, benchServeJSON, name, metrics)
 }
 
 func reportAndRecordTo(b *testing.B, path, name string, metrics map[string]float64) {

@@ -1,0 +1,62 @@
+// Benchmark regression harness for the dispatch path: single-device
+// serving throughput under fifo and demand-balance mix forming on the
+// canonical mixed-memory-demand trace. The headline metrics — per-policy
+// requests per second and p99, plus the demand-balance p99 win over fifo
+// — must not regress as the mix-former layer evolves. Each benchmark
+// reports via b.ReportMetric AND records for BENCH_serve.json (written by
+// TestMain), seeding the dispatcher perf trajectory — run
+//
+//	go test -bench ServeMix -benchtime=1x .
+//
+// and diff BENCH_serve.json against the committed baseline (the CI
+// bench-regression job gates it with cmd/benchdiff).
+package haxconn
+
+import (
+	"testing"
+
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+// serveBenchTrace is the canonical mixed-memory-demand trace
+// (serve.MixedDemandTenants), the same traffic the acceptance tests and
+// the cmd/serve demo use.
+func serveBenchTrace(b *testing.B) serve.Trace {
+	b.Helper()
+	tr, err := serve.Generate(serve.MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkServeMixFormers serves the mixed-demand trace under fifo and
+// demand-balance mix forming on one Orin. Headline metrics: per-policy
+// throughput and p99, and the demand-balance improvement the acceptance
+// test asserts — a shrinking p99_impr_pct means batch formation stopped
+// paying for itself.
+func BenchmarkServeMixFormers(b *testing.B) {
+	tr := serveBenchTrace(b)
+	var cmp *serve.MixComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = serve.CompareMixes(serve.Config{Platform: soc.Orin(), SolverTimeScale: 50}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fifo, db := cmp.Results[0].Total, cmp.Results[1].Total
+	// The raw per-policy rps already gate throughput; the derived
+	// throughput delta is a near-zero difference of large numbers and
+	// would trip the relative-tolerance gate on any one-request shift.
+	metrics := map[string]float64{
+		"fifo_rps":           fifo.ThroughputRPS,
+		"fifo_p99_ms":        fifo.P99Ms,
+		"balance_rps":        db.ThroughputRPS,
+		"balance_p99_ms":     db.P99Ms,
+		"p99_impr_pct":       cmp.P99ImprovementPct(1),
+		"violations_avoided": float64(fifo.Violations - db.Violations),
+	}
+	reportAndRecordServe(b, "BenchmarkServeMixFormers", metrics)
+}

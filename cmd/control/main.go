@@ -9,7 +9,11 @@
 // entries (cmd/fleet's format); -grow names the platforms the autoscaler
 // adds, cycled in order, up to -max devices. Tenants are specified as
 // name:network:rate:slo; -burst start:dur:xN overlays a burst window in
-// which every tenant's rate is multiplied by N.
+// which every tenant's rate is multiplied by N. -mix sets the fleet's
+// mix-forming policy, and -adaptivemix lets the controller switch a
+// device to demand-balance while its pending demand spread exceeds
+// -mixspread (every switch appears in the decision log as a "mix"
+// event).
 //
 // Modes:
 //
@@ -30,11 +34,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"text/tabwriter"
 
+	"haxconn/internal/cliutil"
 	"haxconn/internal/control"
 	"haxconn/internal/fleet"
 	"haxconn/internal/nn"
@@ -58,6 +64,10 @@ func main() {
 		window    = flag.Int("window", control.DefaultSLOWindow, "per-tenant rolling completion window for migration decisions")
 		pressure  = flag.Float64("pressure", control.DefaultPressureP99Factor, "migrate when rolling p99 exceeds this factor x SLO")
 		noseed    = flag.Bool("noseed", false, "disable cross-platform cache seeding on grow")
+		mix       = flag.String("mix", "fifo", "per-device mix-forming policy: "+strings.Join(serve.MixPolicies(), ", "))
+		maxWait   = flag.Int("maxwait", 0, "rounds a request may be passed over by a non-FIFO mix policy before being forced (0 = default)")
+		adaptive  = flag.Bool("adaptivemix", false, "let the controller switch devices to demand-balance when their pending demand spread exceeds -mixspread")
+		mixSpread = flag.Float64("mixspread", control.DefaultMixSpreadGBps, "pending demand-spread threshold (GB/s) for -adaptivemix")
 		nomigrate = flag.Bool("nomigrate", false, "disable SLO-pressure migration (tenants stay on first assignment)")
 		tenants   = flag.String("tenants", "cam-a:VGG19:20:10,cam-b:VGG19:20:10,scorer-a:ResNet152:20:12,scorer-b:ResNet152:20:12", "tenant specs as name:network:rate:slo, comma-separated")
 		duration  = flag.Float64("duration", 2000, "trace duration in virtual ms")
@@ -83,7 +93,10 @@ func main() {
 		fmt.Println("placements:", strings.Join(fleet.Placements(), ", "))
 		return
 	}
-	specs, err := parseTenants(*tenants)
+	if _, err := serve.NewMixFormer(*mix); err != nil {
+		fatalf("%v", err)
+	}
+	specs, err := cliutil.ParseTenants(*tenants, "poisson")
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -91,13 +104,15 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	pool, err := parseDevices(*devices)
+	pool, err := cliutil.ParseDevices(*devices)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	cfg := control.Config{
 		Fleet: fleet.Config{
 			Devices:         pool,
+			MixPolicy:       *mix,
+			MaxWaitRounds:   *maxWait,
 			SolverTimeScale: *scale,
 		},
 		TickMs:            *tick,
@@ -107,11 +122,13 @@ func main() {
 		CooldownTicks:     *cool,
 		MinDevices:        *minDev,
 		MaxDevices:        *maxDev,
-		GrowPlatforms:     splitList(*grow),
+		GrowPlatforms:     cliutil.SplitList(*grow),
 		NoCacheSeeding:    *noseed,
 		SLOWindow:         *window,
 		PressureP99Factor: *pressure,
 		NoMigration:       *nomigrate,
+		AdaptiveMix:       *adaptive,
+		MixSpreadGBps:     *mixSpread,
 	}
 	switch *objective {
 	case "latency":
@@ -136,8 +153,10 @@ func main() {
 			fatalf("%v", err)
 		}
 		printControl(sum)
-		writeOutputs(*csvOut, *jsonOut,
-			func(f *os.File) error { return report.ControlCSV(f, sum) }, sum)
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.ControlCSV(w, sum) }, sum); err != nil {
+			fatalf("%v", err)
+		}
 	case "compare":
 		pl, err := fleet.NewPlacer(*placement)
 		if err != nil {
@@ -149,8 +168,10 @@ func main() {
 		}
 		printControl(cmp.Controlled)
 		printComparison(cmp)
-		writeOutputs(*csvOut, *jsonOut,
-			func(f *os.File) error { return report.ControlComparisonCSV(f, cmp) }, cmp)
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.ControlComparisonCSV(w, cmp) }, cmp); err != nil {
+			fatalf("%v", err)
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -188,65 +209,6 @@ func buildTrace(specs []serve.TenantSpec, durationMs float64, burst string, seed
 	return control.MergeTraces(base, control.ShiftTrace(extra, start)), nil
 }
 
-// parseDevices parses comma-separated platform[:count] specs (the
-// cmd/fleet format).
-func parseDevices(s string) ([]fleet.DeviceSpec, error) {
-	var specs []fleet.DeviceSpec
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		spec := fleet.DeviceSpec{Platform: part}
-		if i := strings.IndexByte(part, ':'); i >= 0 {
-			n, err := strconv.Atoi(part[i+1:])
-			if err != nil || n < 1 {
-				return nil, fmt.Errorf("device spec %q: bad count", part)
-			}
-			spec.Platform, spec.Count = part[:i], n
-		}
-		if spec.Platform == "" {
-			return nil, fmt.Errorf("device spec %q: no platform", part)
-		}
-		if _, ok := soc.PlatformByName(spec.Platform); !ok {
-			return nil, fmt.Errorf("unknown platform %q (see -list)", spec.Platform)
-		}
-		specs = append(specs, spec)
-	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("no device specs in %q", s)
-	}
-	return specs, nil
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-// parseTenants parses comma-separated name:network:rate:slo specs.
-func parseTenants(s string) ([]serve.TenantSpec, error) {
-	var specs []serve.TenantSpec
-	for _, part := range strings.Split(s, ",") {
-		fields := strings.Split(strings.TrimSpace(part), ":")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
-		}
-		rate, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
-		}
-		slo, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
-		}
-		specs = append(specs, serve.TenantSpec{Name: fields[0], Network: fields[1], RateRPS: rate, SLOMs: slo})
-	}
-	return specs, nil
-}
-
 func printControl(sum *control.Summary) {
 	fmt.Printf("== controlled fleet | pool %s | peak %d devices, final %d ==\n",
 		sum.Fleet.Pool, sum.PeakDevices, sum.FinalDevices)
@@ -265,6 +227,11 @@ func printControl(sum *control.Summary) {
 	fmt.Printf("device-time %.0f ms | SLO attainment %.1f%% | %d cache entries seeded cross-platform\n",
 		sum.DeviceMs, sum.Fleet.SLOAttainmentPct, sum.SeededEntries)
 	for _, e := range sum.Scale {
+		if e.Action == "mix" {
+			fmt.Printf("  %8.1f ms  mix    %-9s -> %s (demand spread %.1f GB/s)\n",
+				e.AtMs, e.Device, e.Mix, e.BacklogMs)
+			continue
+		}
 		fmt.Printf("  %8.1f ms  %-6s %-9s active=%d backlog=%.1f ms seeded=%d\n",
 			e.AtMs, e.Action, e.Device, e.Active, e.BacklogMs, e.Seeded)
 	}
@@ -290,31 +257,6 @@ func printComparison(cmp *control.CompareResult) {
 	p99, viol, dms := cmp.Wins()
 	fmt.Printf("\ncontrolled wins %d of 3: p99 %v, violations %v, device-time %v\n",
 		cmp.WinCount(), p99, viol, dms)
-}
-
-func writeOutputs(csvPath, jsonPath string, writeCSV func(*os.File) error, v any) {
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		if err := writeCSV(f); err != nil {
-			fatalf("writing %s: %v", csvPath, err)
-		}
-		fmt.Printf("wrote %s\n", csvPath)
-	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f, v); err != nil {
-			fatalf("writing %s: %v", jsonPath, err)
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
-	}
 }
 
 func fatalf(format string, args ...any) {

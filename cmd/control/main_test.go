@@ -4,37 +4,17 @@ import (
 	"encoding/json"
 	"testing"
 
+	"haxconn/internal/cliutil"
 	"haxconn/internal/control"
 	"haxconn/internal/fleet"
 )
-
-func TestParseDevices(t *testing.T) {
-	specs, err := parseDevices("Orin:2, Xavier")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []fleet.DeviceSpec{{Platform: "Orin", Count: 2}, {Platform: "Xavier"}}
-	if len(specs) != len(want) {
-		t.Fatalf("%d specs", len(specs))
-	}
-	for i := range want {
-		if specs[i] != want[i] {
-			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
-		}
-	}
-	for _, bad := range []string{"", "Orin:0", "TPUv9"} {
-		if _, err := parseDevices(bad); err == nil {
-			t.Errorf("parseDevices(%q): expected error", bad)
-		}
-	}
-}
 
 // TestBuildTraceMatchesDemoBurst pins the CLI defaults to the library's
 // canonical burst: the default tenants/duration/burst flags must generate
 // exactly control.DemoBurstTrace, so the CLI demo, the example and the
 // acceptance tests all serve the same traffic.
 func TestBuildTraceMatchesDemoBurst(t *testing.T) {
-	specs, err := parseTenants("cam-a:VGG19:20:10,cam-b:VGG19:20:10,scorer-a:ResNet152:20:12,scorer-b:ResNet152:20:12")
+	specs, err := cliutil.ParseTenants("cam-a:VGG19:20:10,cam-b:VGG19:20:10,scorer-a:ResNet152:20:12,scorer-b:ResNet152:20:12", "poisson")
 	if err != nil {
 		t.Fatal(err)
 	}

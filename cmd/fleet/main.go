@@ -4,7 +4,9 @@
 //
 // The pool is specified as comma-separated platform[:count] entries, so
 // "Orin:2,Xavier,SD865" is two Orins, one Xavier and one Snapdragon 865.
-// Tenants are specified as name:network:rate:slo exactly as in cmd/serve.
+// Tenants are specified as name:network:rate:slo exactly as in cmd/serve,
+// and -mix selects the per-device mix-forming policy (fifo,
+// demand-balance or slo-aware; see cmd/serve).
 //
 // Modes:
 //
@@ -24,11 +26,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
 	"text/tabwriter"
 
+	"haxconn/internal/cliutil"
 	"haxconn/internal/fleet"
 	"haxconn/internal/nn"
 	"haxconn/internal/report"
@@ -48,9 +51,11 @@ func main() {
 		mode      = flag.String("mode", "compare", "fleet mode: serve or compare")
 		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
 		policy    = flag.String("policy", "aware", "per-device serving policy: aware or naive")
+		mix       = flag.String("mix", "fifo", "per-device mix-forming policy: "+strings.Join(serve.MixPolicies(), ", "))
 		maxBatch  = flag.Int("maxbatch", 0, "max concurrent requests per device dispatch round (default: #accelerators)")
 		maxQueue  = flag.Int("maxqueue", 0, "per-tenant pending-queue cap per device; 0 = unlimited")
 		admitSLO  = flag.Float64("admitslo", 0, "reject requests whose estimated latency exceeds this factor x SLO; 0 = admit all")
+		maxWait   = flag.Int("maxwait", 0, "rounds a request may be passed over by a non-FIFO mix policy before being forced (0 = default)")
 		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see cmd/serve)")
 		private   = flag.Bool("privatecaches", false, "give each device its own schedule cache instead of sharing per platform")
 		csvOut    = flag.String("csv", "", "write the fleet summary (or comparison) as CSV to this file")
@@ -71,7 +76,10 @@ func main() {
 		fmt.Println("placements:", strings.Join(fleet.Placements(), ", "))
 		return
 	}
-	specs, err := parseTenants(*tenants, *arrivals)
+	if _, err := serve.NewMixFormer(*mix); err != nil {
+		fatalf("%v", err)
+	}
+	specs, err := cliutil.ParseTenants(*tenants, *arrivals)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -79,15 +87,17 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	pool, err := parseDevices(*devices)
+	pool, err := cliutil.ParseDevices(*devices)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	cfg := fleet.Config{
 		Devices:         pool,
+		MixPolicy:       *mix,
 		MaxBatch:        *maxBatch,
 		MaxQueue:        *maxQueue,
 		AdmitSLOFactor:  *admitSLO,
+		MaxWaitRounds:   *maxWait,
 		SolverTimeScale: *scale,
 		PrivateCaches:   *private,
 	}
@@ -131,7 +141,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		if *cacheLoad != "" {
-			n, err := loadCaches(*cacheLoad, f)
+			n, err := cliutil.LoadFleetCaches(*cacheLoad, f)
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -143,13 +153,15 @@ func main() {
 		}
 		printFleet(sum)
 		if *cacheSave != "" {
-			if err := saveCaches(*cacheSave, f); err != nil {
+			if err := cliutil.SaveFleetCaches(*cacheSave, f); err != nil {
 				fatalf("%v", err)
 			}
 			fmt.Printf("wrote %s\n", *cacheSave)
 		}
-		writeOutputs(*csvOut, *jsonOut,
-			func(f *os.File) error { return report.FleetCSV(f, sum) }, sum)
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.FleetCSV(w, sum) }, sum); err != nil {
+			fatalf("%v", err)
+		}
 	case "compare":
 		if *cacheSave != "" || *cacheLoad != "" {
 			fatalf("-cache-save/-cache-load need -mode serve (compare builds its own fleets)")
@@ -159,42 +171,17 @@ func main() {
 			fatalf("%v", err)
 		}
 		printComparison(cmp)
-		writeOutputs(*csvOut, *jsonOut,
-			func(f *os.File) error { return report.FleetComparisonCSV(f, cmp) }, cmp)
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.FleetComparisonCSV(w, cmp) }, cmp); err != nil {
+			fatalf("%v", err)
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
 }
 
-// parseDevices parses comma-separated platform[:count] specs.
-func parseDevices(s string) ([]fleet.DeviceSpec, error) {
-	var specs []fleet.DeviceSpec
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		spec := fleet.DeviceSpec{Platform: part}
-		if i := strings.IndexByte(part, ':'); i >= 0 {
-			n, err := strconv.Atoi(part[i+1:])
-			if err != nil || n < 1 {
-				return nil, fmt.Errorf("device spec %q: bad count", part)
-			}
-			spec.Platform, spec.Count = part[:i], n
-		}
-		if spec.Platform == "" {
-			return nil, fmt.Errorf("device spec %q: no platform", part)
-		}
-		if _, ok := soc.PlatformByName(spec.Platform); !ok {
-			return nil, fmt.Errorf("unknown platform %q (see -list)", spec.Platform)
-		}
-		specs = append(specs, spec)
-	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("no device specs in %q", s)
-	}
-	return specs, nil
-}
-
 func printFleet(sum *fleet.Summary) {
-	fmt.Printf("== fleet %s | placement %s | policy %s ==\n", sum.Pool, sum.Placement, sum.Policy)
+	fmt.Printf("== fleet %s | placement %s | policy %s | %s mix ==\n", sum.Pool, sum.Placement, sum.Policy, sum.MixPolicy)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "device\tplatform\tplaced\trejected\tcompleted\tp50\tp95\tp99\tviol\treq/s\tcache h/m/u")
 	for _, ds := range sum.Devices {
@@ -233,103 +220,6 @@ func printComparison(cmp *fleet.Comparison) {
 	fmt.Printf("\nbest placement: %s — p99 %.2f ms vs single-SoC %.2f ms (%.1f%% better), %d SLO violations avoided\n",
 		best.Placement, best.Total.P99Ms, cmp.Single.Total.P99Ms,
 		cmp.P99ImprovementPct(best), cmp.ViolationsAvoided(best))
-}
-
-func writeOutputs(csvPath, jsonPath string, writeCSV func(*os.File) error, v any) {
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		if err := writeCSV(f); err != nil {
-			fatalf("writing %s: %v", csvPath, err)
-		}
-		fmt.Printf("wrote %s\n", csvPath)
-	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f, v); err != nil {
-			fatalf("writing %s: %v", jsonPath, err)
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
-	}
-}
-
-// parseTenants parses comma-separated name:network:rate:slo specs (the
-// cmd/serve format).
-func parseTenants(s, arrivals string) ([]serve.TenantSpec, error) {
-	if arrivals != "poisson" && arrivals != "periodic" {
-		return nil, fmt.Errorf("unknown arrival process %q", arrivals)
-	}
-	var specs []serve.TenantSpec
-	for _, part := range strings.Split(s, ",") {
-		fields := strings.Split(strings.TrimSpace(part), ":")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
-		}
-		rate, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
-		}
-		slo, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
-		}
-		sp := serve.TenantSpec{Name: fields[0], Network: fields[1], SLOMs: slo}
-		if arrivals == "poisson" {
-			sp.RateRPS = rate
-		} else {
-			sp.PeriodMs = rate
-		}
-		specs = append(specs, sp)
-	}
-	return specs, nil
-}
-
-// loadCaches imports every snapshot whose platform has a cache group in
-// the fleet; snapshots for absent platforms are skipped.
-func loadCaches(path string, f *fleet.Fleet) (int, error) {
-	file, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer file.Close()
-	snaps, err := serve.LoadSnapshots(file)
-	if err != nil {
-		return 0, err
-	}
-	total := 0
-	for _, snap := range snaps {
-		c := f.Cache(snap.Platform)
-		if c == nil {
-			continue
-		}
-		n, err := c.Import(snap)
-		if err != nil {
-			return total, err
-		}
-		total += n
-	}
-	return total, nil
-}
-
-// saveCaches writes every platform group's cache to path.
-func saveCaches(path string, f *fleet.Fleet) error {
-	file, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer file.Close()
-	var caches []*serve.Cache
-	for _, p := range f.CachePlatforms() {
-		caches = append(caches, f.Cache(p))
-	}
-	return serve.SaveCaches(file, caches...)
 }
 
 func fatalf(format string, args ...any) {

@@ -3,39 +3,17 @@ package main
 import (
 	"testing"
 
+	"haxconn/internal/cliutil"
 	"haxconn/internal/fleet"
 	"haxconn/internal/serve"
 )
-
-func TestParseDevices(t *testing.T) {
-	specs, err := parseDevices("Orin:2, Xavier ,SD865")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []fleet.DeviceSpec{
-		{Platform: "Orin", Count: 2}, {Platform: "Xavier"}, {Platform: "SD865"},
-	}
-	if len(specs) != len(want) {
-		t.Fatalf("%d specs", len(specs))
-	}
-	for i := range want {
-		if specs[i] != want[i] {
-			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
-		}
-	}
-	for _, bad := range []string{"", "Orin:0", "Orin:x", ":2"} {
-		if _, err := parseDevices(bad); err == nil {
-			t.Errorf("parseDevices(%q): expected error", bad)
-		}
-	}
-}
 
 // TestCompareModeDefaults is the CLI-level acceptance check: -mode compare
 // with the default three-device Orin+Xavier+SD865 pool and the default
 // two-tenant trace must show least-loaded or affinity beating single-SoC
 // serving on fleet p99 latency and SLO violations.
 func TestCompareModeDefaults(t *testing.T) {
-	specs, err := parseTenants("alice:VGG19:140:10,bob:ResNet152:140:12", "poisson")
+	specs, err := cliutil.ParseTenants("alice:VGG19:140:10,bob:ResNet152:140:12", "poisson")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +21,7 @@ func TestCompareModeDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool, err := parseDevices("Orin,Xavier,SD865")
+	pool, err := cliutil.ParseDevices("Orin,Xavier,SD865")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +34,9 @@ func TestCompareModeDefaults(t *testing.T) {
 		if fs.Placement != "least-loaded" && fs.Placement != "affinity" {
 			continue
 		}
+		if fs.MixPolicy != serve.MixFIFO {
+			t.Errorf("default fleet mix policy = %q, want %q", fs.MixPolicy, serve.MixFIFO)
+		}
 		if fs.Total.P99Ms < cmp.Single.Total.P99Ms && fs.Total.Violations < cmp.Single.Total.Violations {
 			won = true
 			t.Logf("%s beats single-%s: p99 %.2f < %.2f ms, violations %d < %d",
@@ -65,5 +46,30 @@ func TestCompareModeDefaults(t *testing.T) {
 	}
 	if !won {
 		t.Error("no load-aware placement beat the single SoC on p99 and violations")
+	}
+}
+
+// TestMixFlagThreadsToDevices: the -mix flag value must reach every
+// device of the pool (fleet.Config.MixPolicy -> serve.Config.MixPolicy),
+// and a per-spec override must beat the fleet default.
+func TestMixFlagThreadsToDevices(t *testing.T) {
+	pool, err := cliutil.ParseDevices("Orin,Xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool[1].MixPolicy = serve.MixSLOAware
+	f, err := fleet.New(fleet.Config{Devices: pool, MixPolicy: serve.MixDemandBalance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := f.Devices()
+	if got := devs[0].MixPolicy(); got != serve.MixDemandBalance {
+		t.Errorf("device 0 mix policy = %q, want fleet default %q", got, serve.MixDemandBalance)
+	}
+	if got := devs[1].MixPolicy(); got != serve.MixSLOAware {
+		t.Errorf("device 1 mix policy = %q, want per-spec override %q", got, serve.MixSLOAware)
+	}
+	if _, err := fleet.New(fleet.Config{Devices: pool[:1], MixPolicy: "lifo"}); err == nil {
+		t.Error("unknown fleet mix policy accepted")
 	}
 }

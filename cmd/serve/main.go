@@ -6,6 +6,13 @@
 // second for Poisson arrivals (the default) or the period in milliseconds
 // with -arrivals periodic; slo is the per-request latency objective in ms.
 //
+// -mix selects how each dispatch round's batch is formed: fifo (oldest
+// requests first, the default), demand-balance (pair memory-light with
+// memory-heavy networks using profiler demand estimates) or slo-aware
+// (deadline-urgency order). Compare mode additionally serves the trace
+// under fifo and demand-balance mix forming and reports the batching win
+// next to the naive-vs-aware scheduling win.
+//
 // Solved schedule caches persist across runs: -cache-save writes the
 // cache's entries (mix + best-known assignment) as JSON after serving, and
 // -cache-load seeds a fresh runtime from such a file so known mixes skip
@@ -17,6 +24,7 @@
 //	serve                                # two-tenant demo, naive-vs-aware comparison
 //	serve -mode aware -duration 5000 -csv out.csv
 //	serve -platform Xavier -tenants "cam:VGG19:30:40,lidar:ResNet101:25:50" -arrivals periodic
+//	serve -mode aware -mix demand-balance
 //	serve -mode aware -cache-save warm.json && serve -mode aware -cache-load warm.json
 //	serve -list
 package main
@@ -24,11 +32,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
 	"text/tabwriter"
 
+	"haxconn/internal/cliutil"
 	"haxconn/internal/nn"
 	"haxconn/internal/report"
 	"haxconn/internal/schedule"
@@ -45,15 +54,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "load-generator seed")
 		mode      = flag.String("mode", "compare", "serving mode: aware, naive or compare")
 		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
+		mix       = flag.String("mix", "fifo", "mix-forming policy: "+strings.Join(serve.MixPolicies(), ", "))
 		maxBatch  = flag.Int("maxbatch", 0, "max concurrent requests per dispatch round (default: #accelerators)")
 		maxQueue  = flag.Int("maxqueue", 0, "per-tenant pending-queue cap; 0 = unlimited")
 		admitSLO  = flag.Float64("admitslo", 0, "reject requests whose estimated latency exceeds this factor x SLO; 0 = admit all")
+		maxWait   = flag.Int("maxwait", 0, "rounds a request may be passed over by a non-FIFO mix policy before being forced (0 = default)")
 		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see autoloop)")
 		csvOut    = flag.String("csv", "", "write per-tenant statistics as CSV to this file")
 		jsonOut   = flag.String("json", "", "write the full summary as JSON to this file")
 		cacheSave = flag.String("cache-save", "", "write the solved schedule cache as JSON to this file after serving (modes aware/naive)")
 		cacheLoad = flag.String("cache-load", "", "seed the schedule cache from a -cache-save file before serving, skipping re-solves of known mixes")
-		list      = flag.Bool("list", false, "list available networks and platforms, then exit")
+		list      = flag.Bool("list", false, "list available networks, platforms and mix policies, then exit")
 	)
 	flag.Parse()
 
@@ -64,13 +75,17 @@ func main() {
 			names = append(names, p.Name)
 		}
 		fmt.Println("platforms:", strings.Join(names, ", "))
+		fmt.Println("mixes:    ", strings.Join(serve.MixPolicies(), ", "))
 		return
 	}
 	p, ok := soc.PlatformByName(*platform)
 	if !ok {
 		fatalf("unknown platform %q", *platform)
 	}
-	specs, err := parseTenants(*tenants, *arrivals)
+	if _, err := serve.NewMixFormer(*mix); err != nil {
+		fatalf("%v", err)
+	}
+	specs, err := cliutil.ParseTenants(*tenants, *arrivals)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -81,9 +96,11 @@ func main() {
 	cfg := serve.Config{
 		Platform:        p,
 		Policy:          serve.ContentionAware,
+		MixPolicy:       *mix,
 		MaxBatch:        *maxBatch,
 		MaxQueue:        *maxQueue,
 		AdmitSLOFactor:  *admitSLO,
+		MaxWaitRounds:   *maxWait,
 		SolverTimeScale: *scale,
 	}
 	switch *objective {
@@ -95,8 +112,8 @@ func main() {
 		fatalf("unknown objective %q", *objective)
 	}
 
-	fmt.Printf("serving %d requests from %d tenants on %s (%s arrivals, %.0f ms)\n\n",
-		len(tr), len(specs), p.Name, *arrivals, *duration)
+	fmt.Printf("serving %d requests from %d tenants on %s (%s arrivals, %.0f ms, %s mix forming)\n\n",
+		len(tr), len(specs), p.Name, *arrivals, *duration, serve.MixPolicyName(*mix))
 
 	switch *mode {
 	case "aware", "naive":
@@ -108,7 +125,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		if *cacheLoad != "" {
-			n, err := loadCache(*cacheLoad, rt.Cache())
+			n, err := cliutil.LoadCache(*cacheLoad, rt.Cache())
 			if err != nil {
 				fatalf("%v", err)
 			}
@@ -118,14 +135,17 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		printSummary(sum)
+		printSummary(os.Stdout, sum)
 		if *cacheSave != "" {
-			if err := saveCaches(*cacheSave, rt.Cache()); err != nil {
+			if err := cliutil.SaveCaches(*cacheSave, rt.Cache()); err != nil {
 				fatalf("%v", err)
 			}
 			fmt.Printf("wrote %s (%d mixes)\n", *cacheSave, rt.Cache().Len())
 		}
-		writeOutputs(*csvOut, *jsonOut, sum, nil)
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.ServingCSV(w, sum) }, sum); err != nil {
+			fatalf("%v", err)
+		}
 	case "compare":
 		if *cacheSave != "" || *cacheLoad != "" {
 			fatalf("-cache-save/-cache-load need -mode aware or naive (compare builds its own runtimes)")
@@ -134,51 +154,36 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		printSummary(cmp.Naive)
-		printSummary(cmp.Aware)
+		printSummary(os.Stdout, cmp.Naive)
+		printSummary(os.Stdout, cmp.Aware)
 		fmt.Printf("p99 latency:    naive %.2f ms -> aware %.2f ms (%.1f%% better)\n",
 			cmp.Naive.Total.P99Ms, cmp.Aware.Total.P99Ms, cmp.P99ImprovementPct())
-		fmt.Printf("SLO violations: naive %d -> aware %d (%d avoided)\n",
+		fmt.Printf("SLO violations: naive %d -> aware %d (%d avoided)\n\n",
 			cmp.Naive.Total.Violations, cmp.Aware.Total.Violations, cmp.ViolationsAvoided())
-		writeOutputs(*csvOut, *jsonOut, nil, cmp)
+		mixCmp, err := compareMixesFrom(cfg, tr, cmp.Aware)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printMixComparison(os.Stdout, mixCmp)
+		// The CSV keeps the per-tenant naive-vs-aware table; the JSON
+		// artifact carries both comparisons so the mix-forming win is
+		// scriptable, not stdout-only.
+		out := struct {
+			Scheduling *serve.Comparison    `json:"scheduling"`
+			MixForming *serve.MixComparison `json:"mix_forming"`
+		}{cmp, mixCmp}
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.ServingComparisonCSV(w, cmp) }, out); err != nil {
+			fatalf("%v", err)
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
 }
 
-// parseTenants parses comma-separated name:network:rate:slo specs.
-func parseTenants(s, arrivals string) ([]serve.TenantSpec, error) {
-	if arrivals != "poisson" && arrivals != "periodic" {
-		return nil, fmt.Errorf("unknown arrival process %q", arrivals)
-	}
-	var specs []serve.TenantSpec
-	for _, part := range strings.Split(s, ",") {
-		fields := strings.Split(strings.TrimSpace(part), ":")
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
-		}
-		rate, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
-		}
-		slo, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
-		}
-		sp := serve.TenantSpec{Name: fields[0], Network: fields[1], SLOMs: slo}
-		if arrivals == "poisson" {
-			sp.RateRPS = rate
-		} else {
-			sp.PeriodMs = rate
-		}
-		specs = append(specs, sp)
-	}
-	return specs, nil
-}
-
-func printSummary(sum *serve.Summary) {
-	fmt.Printf("== %s ==\n", sum.Policy)
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func printSummary(w io.Writer, sum *serve.Summary) {
+	fmt.Fprintf(w, "== %s | %s mix ==\n", sum.Policy, sum.MixPolicy)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "tenant\tnetwork\toffered\trejected\tcompleted\tmean ms\tp50\tp95\tp99\tmax\tviol\trate\treq/s")
 	for _, ts := range append(append([]serve.TenantStats(nil), sum.Tenants...), sum.Total) {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%.1f%%\t%.1f\n",
@@ -187,72 +192,51 @@ func printSummary(sum *serve.Summary) {
 			ts.Violations, 100*ts.ViolationRate, ts.ThroughputRPS)
 	}
 	tw.Flush()
-	fmt.Printf("rounds=%d  cache: %d misses, %d hits (%.1f%% hit rate), %d upgrades\n\n",
+	fmt.Fprintf(w, "rounds=%d  cache: %d misses, %d hits (%.1f%% hit rate), %d upgrades\n\n",
 		sum.Rounds, sum.CacheMisses, sum.CacheHits, 100*sum.CacheHitRate, sum.CacheUpgrades)
 }
 
-func writeOutputs(csvPath, jsonPath string, sum *serve.Summary, cmp *serve.Comparison) {
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		if cmp != nil {
-			err = report.ServingComparisonCSV(f, cmp)
-		} else {
-			err = report.ServingCSV(f, sum)
-		}
-		if err != nil {
-			fatalf("writing %s: %v", csvPath, err)
-		}
-		fmt.Printf("wrote %s\n", csvPath)
+// compareMixesFrom builds the fifo-vs-demand-balance comparison, reusing
+// the already-served aware summary as the fifo leg when the configured
+// policy is fifo (the default) — the runs are byte-identical by the
+// repo's determinism guarantee, so re-serving would be pure waste.
+func compareMixesFrom(cfg serve.Config, tr serve.Trace, aware *serve.Summary) (*serve.MixComparison, error) {
+	if serve.MixPolicyName(cfg.MixPolicy) != serve.MixFIFO || cfg.Mix != nil {
+		return serve.CompareMixes(cfg, tr)
 	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		var v any = sum
-		if cmp != nil {
-			v = cmp
-		}
-		if err := report.WriteJSON(f, v); err != nil {
-			fatalf("writing %s: %v", jsonPath, err)
-		}
-		fmt.Printf("wrote %s\n", jsonPath)
+	db := cfg
+	db.MixPolicy = serve.MixDemandBalance
+	rt, err := serve.New(db)
+	if err != nil {
+		return nil, err
 	}
+	sum, err := rt.Serve(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &serve.MixComparison{
+		Policies: []string{serve.MixFIFO, serve.MixDemandBalance},
+		Results:  []*serve.Summary{aware, sum},
+	}, nil
 }
 
-// loadCache imports the snapshot matching the cache's platform and
-// objective from a -cache-save file.
-func loadCache(path string, cache *serve.Cache) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
+// printMixComparison renders the mix-forming comparison (compare mode):
+// the same trace under each batching policy with scheduling held fixed.
+func printMixComparison(w io.Writer, cmp *serve.MixComparison) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mix policy\tp50\tp99\tviol\treq/s\tp99 vs fifo\treq/s vs fifo")
+	for i, sum := range cmp.Results {
+		ts := sum.Total
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%d\t%.1f\t%+.1f%%\t%+.1f%%\n",
+			cmp.Policies[i], ts.P50Ms, ts.P99Ms, ts.Violations, ts.ThroughputRPS,
+			cmp.P99ImprovementPct(i), cmp.ThroughputImprovementPct(i))
 	}
-	defer f.Close()
-	snaps, err := serve.LoadSnapshots(f)
-	if err != nil {
-		return 0, err
-	}
-	for _, snap := range snaps {
-		if snap.Platform == cache.Platform().Name {
-			return cache.Import(snap)
-		}
-	}
-	return 0, fmt.Errorf("no snapshot for platform %s in %s", cache.Platform().Name, path)
-}
-
-// saveCaches writes the caches' snapshots to path.
-func saveCaches(path string, caches ...*serve.Cache) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return serve.SaveCaches(f, caches...)
+	tw.Flush()
+	last := len(cmp.Results) - 1
+	fmt.Fprintf(w, "mix forming:    %s p99 %.2f ms -> %s %.2f ms (%+.1f%% p99, %+.1f%% throughput)\n",
+		cmp.Policies[0], cmp.Results[0].Total.P99Ms,
+		cmp.Policies[last], cmp.Results[last].Total.P99Ms,
+		cmp.P99ImprovementPct(last), cmp.ThroughputImprovementPct(last))
 }
 
 func fatalf(format string, args ...any) {

@@ -1,34 +1,57 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
 
-func TestParseTenants(t *testing.T) {
-	specs, err := parseTenants("alice:VGG19:140:10, bob:ResNet152:25:12", "poisson")
+	"haxconn/internal/cliutil"
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+// TestCompareModeMixWin drives compare mode's fifo-vs-demand-balance leg
+// exactly as main does — tenant specs through the flag parser, the
+// generated trace through serve.CompareMixes, the result through the
+// printer — on a mixed-memory-demand trace (four in-phase periodic
+// tenants spanning the Orin demand range), and asserts demand-balance
+// beats fifo on p99 latency without losing throughput.
+func TestCompareModeMixWin(t *testing.T) {
+	specs, err := cliutil.ParseTenants(
+		"squeeze:SqueezeNet:8:7,incept:Inception:8:7,res152:ResNet152:8:7,res18:ResNet18:8:7",
+		"periodic")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 2 {
-		t.Fatalf("%d specs", len(specs))
+	// The flag string must stay in lockstep with the library's canonical
+	// workload, so the CLI demo, the acceptance tests and the bench
+	// baseline all serve the same traffic.
+	if !reflect.DeepEqual(specs, serve.MixedDemandTenants()) {
+		t.Fatalf("flag specs %+v diverged from serve.MixedDemandTenants()", specs)
 	}
-	if specs[0].Name != "alice" || specs[0].Network != "VGG19" ||
-		specs[0].RateRPS != 140 || specs[0].SLOMs != 10 || specs[0].PeriodMs != 0 {
-		t.Errorf("spec 0: %+v", specs[0])
-	}
-	specs, err = parseTenants("cam:VGG19:33:40", "periodic")
+	tr, err := serve.Generate(specs, 1000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if specs[0].PeriodMs != 33 || specs[0].RateRPS != 0 {
-		t.Errorf("periodic spec: %+v", specs[0])
+	cmp, err := serve.CompareMixes(serve.Config{Platform: soc.Orin(), SolverTimeScale: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, bad := range []struct{ s, arr string }{
-		{"alice:VGG19:140", "poisson"},
-		{"alice:VGG19:x:10", "poisson"},
-		{"alice:VGG19:140:y", "poisson"},
-		{"alice:VGG19:140:10", "uniform"},
-	} {
-		if _, err := parseTenants(bad.s, bad.arr); err == nil {
-			t.Errorf("parseTenants(%q, %q): expected error", bad.s, bad.arr)
+	fifo, db := cmp.Results[0].Total, cmp.Results[1].Total
+	if db.P99Ms >= fifo.P99Ms {
+		t.Errorf("compare mode: demand-balance p99 %.2f ms not better than fifo %.2f ms", db.P99Ms, fifo.P99Ms)
+	}
+	if db.ThroughputRPS < fifo.ThroughputRPS {
+		t.Errorf("compare mode: demand-balance throughput %.1f rps lost to fifo %.1f", db.ThroughputRPS, fifo.ThroughputRPS)
+	}
+
+	var buf bytes.Buffer
+	printMixComparison(&buf, cmp)
+	out := buf.String()
+	for _, want := range []string{"fifo", "demand-balance", "mix forming:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mix comparison output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -3,7 +3,9 @@
 // Heterogeneous SoCs" (Dagli & Belviranli, PPoPP 2024).
 //
 // The public pipeline lives in internal/core; the online serving runtime
-// in internal/serve; the benchmark suite in bench_test.go regenerates
-// every table and figure of the paper's evaluation. See README.md for a
-// package tour and quickstart.
+// in internal/serve, whose pluggable mix-forming dispatch (fifo,
+// demand-balance, slo-aware) decides which networks co-run each round;
+// the benchmark suite in bench_test.go regenerates every table and
+// figure of the paper's evaluation. See README.md for a package tour and
+// quickstart.
 package haxconn

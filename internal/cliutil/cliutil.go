@@ -1,0 +1,195 @@
+// Package cliutil holds the flag-parsing and artifact-output helpers the
+// serving commands (cmd/serve, cmd/fleet, cmd/control) share: tenant and
+// device-pool spec parsing, CSV/JSON output writing, and schedule-cache
+// save/load. Each command used to carry its own copy of these; keeping
+// one here means a spec-format or persistence change lands everywhere at
+// once.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"haxconn/internal/fleet"
+	"haxconn/internal/report"
+	"haxconn/internal/serve"
+	"haxconn/internal/soc"
+)
+
+// ParseTenants parses comma-separated name:network:rate:slo tenant specs.
+// With "poisson" arrivals the rate field is requests per second; with
+// "periodic" it is the period in milliseconds.
+func ParseTenants(s, arrivals string) ([]serve.TenantSpec, error) {
+	if arrivals != "poisson" && arrivals != "periodic" {
+		return nil, fmt.Errorf("unknown arrival process %q", arrivals)
+	}
+	var specs []serve.TenantSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("tenant spec %q: want name:network:rate:slo", part)
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad rate: %v", part, err)
+		}
+		slo, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tenant spec %q: bad SLO: %v", part, err)
+		}
+		sp := serve.TenantSpec{Name: fields[0], Network: fields[1], SLOMs: slo}
+		if arrivals == "poisson" {
+			sp.RateRPS = rate
+		} else {
+			sp.PeriodMs = rate
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// ParseDevices parses comma-separated platform[:count] device-pool specs.
+func ParseDevices(s string) ([]fleet.DeviceSpec, error) {
+	var specs []fleet.DeviceSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		spec := fleet.DeviceSpec{Platform: part}
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			n, err := strconv.Atoi(part[i+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("device spec %q: bad count", part)
+			}
+			spec.Platform, spec.Count = part[:i], n
+		}
+		if spec.Platform == "" {
+			return nil, fmt.Errorf("device spec %q: no platform", part)
+		}
+		if _, ok := soc.PlatformByName(spec.Platform); !ok {
+			return nil, fmt.Errorf("unknown platform %q (see -list)", spec.Platform)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no device specs in %q", s)
+	}
+	return specs, nil
+}
+
+// SplitList splits a comma-separated list, trimming whitespace and
+// dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// WriteOutputs writes the optional CSV and JSON artifacts of a run:
+// writeCSV renders the summary at csvPath and v is serialized as indented
+// JSON at jsonPath (either path may be empty). Each file written is
+// reported on stdout, matching the commands' historical behavior.
+func WriteOutputs(csvPath, jsonPath string, writeCSV func(io.Writer) error, v any) error {
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := writeCSV(f); err != nil {
+			return fmt.Errorf("writing %s: %v", csvPath, err)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f, v); err != nil {
+			return fmt.Errorf("writing %s: %v", jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// LoadCache imports the snapshot matching the cache's platform from a
+// cache-save file (cmd/serve's single-device -cache-load).
+func LoadCache(path string, cache *serve.Cache) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	snaps, err := serve.LoadSnapshots(f)
+	if err != nil {
+		return 0, err
+	}
+	for _, snap := range snaps {
+		if snap.Platform == cache.Platform().Name {
+			return cache.Import(snap)
+		}
+	}
+	return 0, fmt.Errorf("no snapshot for platform %s in %s", cache.Platform().Name, path)
+}
+
+// SaveCaches writes the caches' snapshots to path (cmd/serve's
+// -cache-save).
+func SaveCaches(path string, caches ...*serve.Cache) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return serve.SaveCaches(f, caches...)
+}
+
+// LoadFleetCaches imports every snapshot whose platform has a cache group
+// in the fleet; snapshots for absent platforms are skipped (cmd/fleet's
+// -cache-load).
+func LoadFleetCaches(path string, f *fleet.Fleet) (int, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer file.Close()
+	snaps, err := serve.LoadSnapshots(file)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, snap := range snaps {
+		c := f.Cache(snap.Platform)
+		if c == nil {
+			continue
+		}
+		n, err := c.Import(snap)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// SaveFleetCaches writes every platform group's cache to path
+// (cmd/fleet's -cache-save).
+func SaveFleetCaches(path string, f *fleet.Fleet) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	var caches []*serve.Cache
+	for _, p := range f.CachePlatforms() {
+		caches = append(caches, f.Cache(p))
+	}
+	return serve.SaveCaches(file, caches...)
+}

@@ -34,12 +34,14 @@ func MaxPool(cfg Config) []fleet.DeviceSpec {
 	var specs []fleet.DeviceSpec
 	n := 0
 	for _, d := range cfg.Fleet.Devices {
-		c := d.Count
-		if c == 0 {
-			c = 1
+		// Copy the whole spec so per-spec knobs (MixPolicy) carry over to
+		// the static baseline; only Count is normalized.
+		spec := d
+		if spec.Count == 0 {
+			spec.Count = 1
 		}
-		specs = append(specs, fleet.DeviceSpec{Platform: d.Platform, Count: c})
-		n += c
+		specs = append(specs, spec)
+		n += spec.Count
 	}
 	for i := 0; n < cfg.MaxDevices; i++ {
 		specs = append(specs, fleet.DeviceSpec{Platform: cfg.GrowPlatforms[i%len(cfg.GrowPlatforms)]})

@@ -94,6 +94,17 @@ type Config struct {
 	// (default 4). NoMigration pins tenants to their first assignment.
 	MigrationCooldownTicks int
 	NoMigration            bool
+
+	// AdaptiveMix lets the controller choose each device's mix-forming
+	// policy from offered-mix pressure: when the spread between the
+	// heaviest and lightest estimated memory demand in a device's pending
+	// queue exceeds MixSpreadGBps, the device switches to demand-balance;
+	// once the spread falls back below, it returns to the policy the
+	// device was configured with (the fleet default or its spec's
+	// override). Every switch is logged as a "mix" scale event.
+	AdaptiveMix bool
+	// MixSpreadGBps is the demand-spread threshold (default 10).
+	MixSpreadGBps float64
 }
 
 // Defaults.
@@ -110,6 +121,7 @@ const (
 	DefaultPressureP99Factor      = 1.0
 	DefaultPressureViolationRate  = 0.5
 	DefaultMigrationCooldownTicks = 4
+	DefaultMixSpreadGBps          = 10.0
 )
 
 // withDefaults resolves zero-valued knobs.
@@ -167,6 +179,9 @@ func (c Config) withDefaults() Config {
 	if c.MigrationCooldownTicks <= 0 {
 		c.MigrationCooldownTicks = DefaultMigrationCooldownTicks
 	}
+	if c.MixSpreadGBps <= 0 {
+		c.MixSpreadGBps = DefaultMixSpreadGBps
+	}
 	return c
 }
 
@@ -188,20 +203,24 @@ func (c Config) validate() error {
 type ScaleEvent struct {
 	// AtMs is the control tick's virtual time.
 	AtMs float64
-	// Action is "grow" (device added), "drain" (device marked draining) or
-	// "remove" (drained device retired).
+	// Action is "grow" (device added), "drain" (device marked draining),
+	// "remove" (drained device retired) or "mix" (the adaptive-mix hook
+	// switched the device's mix-forming policy).
 	Action string
 	// Device and Platform identify the affected device.
 	Device   string
 	Platform string
 	// Active is the placeable pool size after the action.
 	Active int
-	// BacklogMs is the scaling signal at decision time (mean backlog per
-	// active device).
+	// BacklogMs is the decision signal at action time: the mean backlog
+	// per active device for grow/drain/remove, the device's pending
+	// demand spread (GB/s) for mix switches.
 	BacklogMs float64
 	// Seeded counts cache entries transferred from another platform that
 	// beat the naive schedule (grow of an unseen platform only).
 	Seeded int
+	// Mix is the mix-forming policy a "mix" action switched the device to.
+	Mix string
 }
 
 // Migration is one sticky-assignment rebalance.
@@ -303,6 +322,7 @@ type run struct {
 	prevBusy []float64 // BusyMs at the previous tick (utilization windowing)
 
 	tenants map[string]*tenantWindow
+	mixBase []string // per device: the configured mix policy adaptMix restores
 
 	hiStreak, loStreak int
 	cooldown           int
@@ -391,6 +411,52 @@ func (r *run) tick(nowMs float64) error {
 	}
 	if !r.cfg.NoMigration {
 		r.migrate(nowMs)
+	}
+	if r.cfg.AdaptiveMix {
+		if err := r.adaptMix(nowMs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adaptMix is the per-device mix-policy hook: each tick the controller
+// reads every placeable device's offered-mix pressure — the spread
+// between the heaviest and lightest estimated memory demand in its
+// pending queue — and switches the device to demand-balance while the
+// spread exceeds the threshold, back to the device's own configured
+// policy (recorded the first time the hook sees it, so per-spec
+// overrides survive) once it subsides. Devices are visited in pool-index
+// order and each switch is logged, so adaptive runs stay byte-identical
+// rerun to rerun.
+func (r *run) adaptMix(nowMs float64) error {
+	for i, d := range r.fleet.Devices() {
+		for len(r.mixBase) <= i {
+			r.mixBase = append(r.mixBase, r.fleet.Devices()[len(r.mixBase)].MixPolicy())
+		}
+		if r.fleet.Draining(i) || r.leaveMs[i] >= 0 {
+			continue
+		}
+		spread, err := d.PendingDemandSpread()
+		if err != nil {
+			return err
+		}
+		want := r.mixBase[i]
+		if spread > r.cfg.MixSpreadGBps {
+			want = serve.MixDemandBalance
+		}
+		if d.MixPolicy() == want {
+			continue
+		}
+		m, err := serve.NewMixFormer(want)
+		if err != nil {
+			return err
+		}
+		d.SetMix(m)
+		r.events = append(r.events, ScaleEvent{
+			AtMs: nowMs, Action: "mix", Device: d.Name(), Platform: d.Platform().Name,
+			Active: r.active(), BacklogMs: spread, Mix: want,
+		})
 	}
 	return nil
 }

@@ -284,3 +284,74 @@ func TestMergeTraces(t *testing.T) {
 		t.Errorf("shifted arrival wrong: %+v", m[1])
 	}
 }
+
+// TestAdaptiveMixSwitches: with AdaptiveMix on and mixed-demand tenants
+// (VGG19 at ~104 GB/s vs ResNet18 at ~71 GB/s on Orin), the controller
+// must switch at least one device to demand-balance when the pending
+// demand spread crosses the threshold, log the switch as a "mix" scale
+// event, and stay byte-identical rerun to rerun. The default
+// configuration (AdaptiveMix off) must emit no mix events.
+func TestAdaptiveMixSwitches(t *testing.T) {
+	specs := []serve.TenantSpec{
+		{Name: "heavy-a", Network: "VGG19", RateRPS: 300, SLOMs: 10},
+		{Name: "heavy-b", Network: "VGG19", RateRPS: 300, SLOMs: 10},
+		{Name: "light-a", Network: "ResNet18", RateRPS: 300, SLOMs: 6},
+		{Name: "light-b", Network: "ResNet18", RateRPS: 300, SLOMs: 6},
+	}
+	tr, err := serve.Generate(specs, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := demoConfig()
+	cfg.AdaptiveMix = true
+	serveOnce := func() *Summary {
+		t.Helper()
+		ctrl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := ctrl.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	sum := serveOnce()
+	mixEvents := 0
+	for _, e := range sum.Scale {
+		if e.Action != "mix" {
+			continue
+		}
+		mixEvents++
+		if e.Mix != serve.MixDemandBalance && e.Mix != serve.MixFIFO {
+			t.Errorf("mix event switched to unknown policy %q", e.Mix)
+		}
+		if e.Device == "" {
+			t.Error("mix event without a device")
+		}
+	}
+	if mixEvents == 0 {
+		t.Fatal("adaptive mix produced no mix events on a mixed-demand trace")
+	}
+	if !bytes.Equal(mustJSON(t, sum), mustJSON(t, serveOnce())) {
+		t.Error("adaptive-mix runs diverged; the mix hook broke determinism")
+	}
+
+	// The hook must stay silent when disabled.
+	cfg.AdaptiveMix = false
+	for _, e := range serveOnce().Scale {
+		if e.Action == "mix" {
+			t.Fatalf("mix event %+v emitted with AdaptiveMix off", e)
+		}
+	}
+
+	// A per-spec mix override is the device's base policy: when pressure
+	// subsides the hook must restore slo-aware, never the fleet default.
+	cfg.AdaptiveMix = true
+	cfg.Fleet.Devices = []fleet.DeviceSpec{{Platform: "Orin", MixPolicy: serve.MixSLOAware}}
+	for _, e := range serveOnce().Scale {
+		if e.Action == "mix" && e.Mix != serve.MixDemandBalance && e.Mix != serve.MixSLOAware {
+			t.Errorf("mix event reverted device to %q, clobbering its slo-aware override", e.Mix)
+		}
+	}
+}

@@ -45,6 +45,10 @@ type DeviceSpec struct {
 	Platform string
 	// Count is the number of devices of this platform (default 1).
 	Count int
+	// MixPolicy overrides the fleet-wide Config.MixPolicy for these
+	// devices ("" inherits the fleet default) — a heterogeneous pool can
+	// run demand-balance on its big devices and fifo on the small ones.
+	MixPolicy string
 }
 
 // Config controls a fleet dispatcher.
@@ -57,12 +61,18 @@ type Config struct {
 	Policy serve.Policy
 	// Objective is the per-mix scheduling objective (default MinMaxLatency).
 	Objective schedule.Objective
-	// MaxBatch, MaxQueue, AdmitSLOFactor, SolverTimeScale and MaxGroups
-	// are passed through to every device; see serve.Config.
+	// MixPolicy names the per-device mix-forming policy (see
+	// serve.MixPolicies); "" means fifo. DeviceSpec.MixPolicy overrides it
+	// per spec, and the control plane may override it per device at
+	// runtime through serve.Device.SetMix.
+	MixPolicy string
+	// MaxBatch, MaxQueue, AdmitSLOFactor, SolverTimeScale, MaxWaitRounds
+	// and MaxGroups are passed through to every device; see serve.Config.
 	MaxBatch        int
 	MaxQueue        int
 	AdmitSLOFactor  float64
 	SolverTimeScale float64
+	MaxWaitRounds   int
 	MaxGroups       int
 	// PrivateCaches gives every device its own schedule cache instead of
 	// sharing one per platform (for measuring what sharing is worth).
@@ -108,7 +118,7 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: negative device count for %q", spec.Platform)
 		}
 		for i := 0; i < count; i++ {
-			if _, err := f.AddDevice(spec.Platform); err != nil {
+			if _, err := f.addDevice(spec.Platform, spec.MixPolicy); err != nil {
 				return nil, err
 			}
 		}
@@ -120,9 +130,15 @@ func New(cfg Config) (*Fleet, error) {
 // it with the platform's shared schedule cache (created on first use, so a
 // device of an unseen platform brings its cache into existence — the hook
 // internal/control seeds transferred entries through). The device joins
-// with a fresh virtual timeline and is immediately placeable. Returns the
-// new device.
+// with a fresh virtual timeline, the fleet's default mix policy, and is
+// immediately placeable. Returns the new device.
 func (f *Fleet) AddDevice(platform string) (serve.Device, error) {
+	return f.addDevice(platform, "")
+}
+
+// addDevice is AddDevice with a per-device mix-policy override ("" uses
+// the fleet default).
+func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 	p, ok := soc.PlatformByName(platform)
 	if !ok {
 		return nil, fmt.Errorf("fleet: unknown platform %q", platform)
@@ -146,15 +162,20 @@ func (f *Fleet) AddDevice(platform string) (serve.Device, error) {
 			shared = c
 		}
 	}
+	if mixPolicy == "" {
+		mixPolicy = f.cfg.MixPolicy
+	}
 	rt, err := serve.New(serve.Config{
 		Platform:        p,
 		Name:            fmt.Sprintf("%s/%d", p.Name, f.perPlatform[p.Name]),
 		Objective:       f.cfg.Objective,
 		Policy:          f.cfg.Policy,
+		MixPolicy:       mixPolicy,
 		MaxBatch:        f.cfg.MaxBatch,
 		MaxQueue:        f.cfg.MaxQueue,
 		AdmitSLOFactor:  f.cfg.AdmitSLOFactor,
 		SolverTimeScale: f.cfg.SolverTimeScale,
+		MaxWaitRounds:   f.cfg.MaxWaitRounds,
 		MaxGroups:       f.cfg.MaxGroups,
 		SharedCache:     shared,
 	})
@@ -419,10 +440,12 @@ func Compare(cfg Config, tr serve.Trace, placements ...Placer) (*Comparison, err
 		Platform:        p,
 		Objective:       cfg.Objective,
 		Policy:          cfg.Policy,
+		MixPolicy:       cfg.MixPolicy,
 		MaxBatch:        cfg.MaxBatch,
 		MaxQueue:        cfg.MaxQueue,
 		AdmitSLOFactor:  cfg.AdmitSLOFactor,
 		SolverTimeScale: cfg.SolverTimeScale,
+		MaxWaitRounds:   cfg.MaxWaitRounds,
 		MaxGroups:       cfg.MaxGroups,
 	})
 	if err != nil {

@@ -39,9 +39,12 @@ type CacheStats struct {
 // Summary is the outcome of serving one trace across the fleet.
 type Summary struct {
 	// Placement and Policy name the dispatcher configuration; Pool
-	// describes the device pool ("Orin+Orin+Xavier").
+	// describes the device pool ("Orin+Orin+Xavier"). MixPolicy is the
+	// fleet-wide default mix-forming policy (per-device overrides show in
+	// each DeviceSummary's serving summary).
 	Placement string
 	Policy    string
+	MixPolicy string
 	Pool      string
 
 	// DurationMs is the fleet-wide virtual makespan (last completion on
@@ -70,6 +73,7 @@ func (f *Fleet) Summarize() *Summary {
 	sum := &Summary{
 		Placement: f.placer.Name(),
 		Policy:    f.cfg.Policy.String(),
+		MixPolicy: serve.MixPolicyName(f.cfg.MixPolicy),
 		Pool:      f.Pool(),
 	}
 	var all []serve.Completion

@@ -144,14 +144,14 @@ func ServingCSV(w io.Writer, sum *serve.Summary) error {
 	c := newCSV(w)
 	if err := c.row("policy", "tenant", "network", "offered", "rejected",
 		"completed", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
-		"violations", "violation_rate", "throughput_rps"); err != nil {
+		"violations", "violation_rate", "throughput_rps", "mix_policy"); err != nil {
 		return err
 	}
 	rows := append(append([]serve.TenantStats(nil), sum.Tenants...), sum.Total)
 	for _, ts := range rows {
 		if err := c.row(sum.Policy, ts.Tenant, ts.Network, ts.Offered, ts.Rejected,
 			ts.Completed, ts.MeanMs, ts.P50Ms, ts.P95Ms, ts.P99Ms, ts.MaxMs,
-			ts.Violations, ts.ViolationRate, ts.ThroughputRPS); err != nil {
+			ts.Violations, ts.ViolationRate, ts.ThroughputRPS, sum.MixPolicy); err != nil {
 			return err
 		}
 	}
@@ -163,7 +163,7 @@ func ServingCSV(w io.Writer, sum *serve.Summary) error {
 func ServingComparisonCSV(w io.Writer, cmp *serve.Comparison) error {
 	c := newCSV(w)
 	if err := c.row("tenant", "network", "naive_p50_ms", "naive_p99_ms", "naive_violations",
-		"aware_p50_ms", "aware_p99_ms", "aware_violations", "p99_impr_pct"); err != nil {
+		"aware_p50_ms", "aware_p99_ms", "aware_violations", "p99_impr_pct", "mix_policy"); err != nil {
 		return err
 	}
 	naive := map[string]serve.TenantStats{cmp.Naive.Total.Tenant: cmp.Naive.Total}
@@ -181,7 +181,7 @@ func ServingComparisonCSV(w io.Writer, cmp *serve.Comparison) error {
 			impr = 100 * (1 - a.P99Ms/n.P99Ms)
 		}
 		if err := c.row(a.Tenant, a.Network, n.P50Ms, n.P99Ms, n.Violations,
-			a.P50Ms, a.P99Ms, a.Violations, impr); err != nil {
+			a.P50Ms, a.P99Ms, a.Violations, impr, cmp.Aware.MixPolicy); err != nil {
 			return err
 		}
 	}
@@ -196,7 +196,8 @@ func FleetCSV(w io.Writer, sum *fleet.Summary) error {
 	if err := c.row("placement", "pool", "device", "platform", "placed",
 		"offered", "rejected", "completed", "mean_ms", "p50_ms", "p95_ms",
 		"p99_ms", "max_ms", "violations", "violation_rate", "throughput_rps",
-		"cache_hits", "cache_misses", "cache_upgrades", "slo_attainment_pct"); err != nil {
+		"cache_hits", "cache_misses", "cache_upgrades", "slo_attainment_pct",
+		"mix_policy"); err != nil {
 		return err
 	}
 	for _, ds := range sum.Devices {
@@ -205,7 +206,7 @@ func FleetCSV(w io.Writer, sum *fleet.Summary) error {
 			ts.Offered, ts.Rejected, ts.Completed, ts.MeanMs, ts.P50Ms, ts.P95Ms,
 			ts.P99Ms, ts.MaxMs, ts.Violations, ts.ViolationRate, ts.ThroughputRPS,
 			ds.Summary.CacheHits, ds.Summary.CacheMisses, ds.Summary.CacheUpgrades,
-			ts.SLOAttainmentPct()); err != nil {
+			ts.SLOAttainmentPct(), ds.Summary.MixPolicy); err != nil {
 			return err
 		}
 	}
@@ -219,7 +220,7 @@ func FleetCSV(w io.Writer, sum *fleet.Summary) error {
 	if err := c.row(sum.Placement, sum.Pool, tot.Tenant, "fleet", tot.Offered,
 		tot.Offered, tot.Rejected, tot.Completed, tot.MeanMs, tot.P50Ms, tot.P95Ms,
 		tot.P99Ms, tot.MaxMs, tot.Violations, tot.ViolationRate, tot.ThroughputRPS,
-		hits, misses, upgrades, sum.SLOAttainmentPct); err != nil {
+		hits, misses, upgrades, sum.SLOAttainmentPct, sum.MixPolicy); err != nil {
 		return err
 	}
 	return c.flush()
@@ -231,19 +232,21 @@ func FleetCSV(w io.Writer, sum *fleet.Summary) error {
 func FleetComparisonCSV(w io.Writer, cmp *fleet.Comparison) error {
 	c := newCSV(w)
 	if err := c.row("config", "pool", "p50_ms", "p99_ms", "violations",
-		"throughput_rps", "slo_attainment_pct", "p99_impr_pct", "violations_avoided"); err != nil {
+		"throughput_rps", "slo_attainment_pct", "p99_impr_pct", "violations_avoided",
+		"mix_policy"); err != nil {
 		return err
 	}
 	st := cmp.Single.Total
 	if err := c.row("single:"+cmp.SinglePlatform, cmp.SinglePlatform,
-		st.P50Ms, st.P99Ms, st.Violations, st.ThroughputRPS, st.SLOAttainmentPct(), 0.0, 0); err != nil {
+		st.P50Ms, st.P99Ms, st.Violations, st.ThroughputRPS, st.SLOAttainmentPct(), 0.0, 0,
+		cmp.Single.MixPolicy); err != nil {
 		return err
 	}
 	for _, fs := range cmp.Fleets {
 		ft := fs.Total
 		if err := c.row("fleet:"+fs.Placement, fs.Pool,
 			ft.P50Ms, ft.P99Ms, ft.Violations, ft.ThroughputRPS, fs.SLOAttainmentPct,
-			cmp.P99ImprovementPct(fs), cmp.ViolationsAvoided(fs)); err != nil {
+			cmp.P99ImprovementPct(fs), cmp.ViolationsAvoided(fs), fs.MixPolicy); err != nil {
 			return err
 		}
 	}
@@ -259,24 +262,26 @@ func ControlCSV(w io.Writer, sum *control.Summary) error {
 	c := newCSV(w)
 	if err := c.row("kind", "at_ms", "active", "draining", "backlog_ms",
 		"utilization_pct", "action", "device", "platform", "seeded",
-		"tenant", "from", "to", "reason", "rolling_p99_ms", "violation_rate"); err != nil {
+		"tenant", "from", "to", "reason", "rolling_p99_ms", "violation_rate",
+		"mix"); err != nil {
 		return err
 	}
 	for _, s := range sum.Timeline {
 		if err := c.row("pool", s.AtMs, s.Active, s.Draining, s.BacklogMs,
-			s.UtilizationPct, "", "", "", "", "", "", "", "", "", ""); err != nil {
+			s.UtilizationPct, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 			return err
 		}
 	}
 	for _, e := range sum.Scale {
 		if err := c.row("scale", e.AtMs, e.Active, "", e.BacklogMs, "",
-			e.Action, e.Device, e.Platform, e.Seeded, "", "", "", "", "", ""); err != nil {
+			e.Action, e.Device, e.Platform, e.Seeded, "", "", "", "", "", "",
+			e.Mix); err != nil {
 			return err
 		}
 	}
 	for _, m := range sum.Migrations {
 		if err := c.row("migration", m.AtMs, "", "", "", "", "", "", "", "",
-			m.Tenant, m.From, m.To, m.Reason, m.RollingP99Ms, m.ViolationRate); err != nil {
+			m.Tenant, m.From, m.To, m.Reason, m.RollingP99Ms, m.ViolationRate, ""); err != nil {
 			return err
 		}
 	}
@@ -290,7 +295,7 @@ func ControlComparisonCSV(w io.Writer, cmp *control.CompareResult) error {
 	c := newCSV(w)
 	if err := c.row("config", "pool", "p50_ms", "p99_ms", "violations",
 		"throughput_rps", "slo_attainment_pct", "device_ms", "peak_devices",
-		"scale_events", "migrations", "seeded_entries"); err != nil {
+		"scale_events", "migrations", "seeded_entries", "mix_policy"); err != nil {
 		return err
 	}
 	ct := cmp.Controlled.Fleet.Total
@@ -298,14 +303,15 @@ func ControlComparisonCSV(w io.Writer, cmp *control.CompareResult) error {
 		ct.P50Ms, ct.P99Ms, ct.Violations, ct.ThroughputRPS,
 		cmp.Controlled.Fleet.SLOAttainmentPct, cmp.Controlled.DeviceMs,
 		cmp.Controlled.PeakDevices, len(cmp.Controlled.Scale),
-		len(cmp.Controlled.Migrations), cmp.Controlled.SeededEntries); err != nil {
+		len(cmp.Controlled.Migrations), cmp.Controlled.SeededEntries,
+		cmp.Controlled.Fleet.MixPolicy); err != nil {
 		return err
 	}
 	st := cmp.Static.Total
 	if err := c.row("static:"+cmp.StaticPlacement, cmp.Static.Pool,
 		st.P50Ms, st.P99Ms, st.Violations, st.ThroughputRPS,
 		cmp.Static.SLOAttainmentPct, cmp.StaticDeviceMs,
-		len(cmp.Static.Devices), 0, 0, 0); err != nil {
+		len(cmp.Static.Devices), 0, 0, 0, cmp.Static.MixPolicy); err != nil {
 		return err
 	}
 	return c.flush()

@@ -148,6 +148,9 @@ func TestServingCSV(t *testing.T) {
 	if recs[1][0] != "contention-aware" || recs[1][11] != "1" {
 		t.Errorf("alice row: %v", recs[1])
 	}
+	if recs[0][len(recs[0])-1] != "mix_policy" {
+		t.Errorf("serving CSV missing mix_policy column: %v", recs[0])
+	}
 }
 
 func TestServingComparisonCSV(t *testing.T) {
@@ -208,6 +211,9 @@ func TestFleetCSV(t *testing.T) {
 	if recs[1][0] != "least-loaded" || recs[1][1] != "Orin+Xavier" {
 		t.Errorf("placement/pool: %v", recs[1])
 	}
+	if recs[0][len(recs[0])-1] != "mix_policy" || recs[1][len(recs[1])-1] != "fifo" {
+		t.Errorf("fleet CSV mix_policy column: header %v, device row %v", recs[0], recs[1])
+	}
 
 	buf.Reset()
 	if err := FleetComparisonCSV(&buf, cmp); err != nil {
@@ -262,6 +268,9 @@ func TestControlCSV(t *testing.T) {
 	}
 	if recs[0][0] != "kind" || recs[1][0] != "pool" {
 		t.Errorf("header/first rows: %v %v", recs[0], recs[1])
+	}
+	if recs[0][len(recs[0])-1] != "mix" {
+		t.Errorf("control CSV missing mix column: %v", recs[0])
 	}
 	kinds := map[string]int{}
 	for _, r := range recs[1:] {

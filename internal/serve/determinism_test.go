@@ -60,6 +60,57 @@ func TestServeDeterministic(t *testing.T) {
 	}
 }
 
+// TestMixPoliciesDeterministic: every mix-forming policy must be
+// byte-identically reproducible — serving the same mixed-demand trace
+// twice on fresh runtimes (and serving a regenerated copy) yields the
+// same summary bytes, policy by policy. Non-FIFO policies reorder the
+// queue and trip the max-wait bound, so this pins the whole selection
+// path: demand ranking, slack ordering, forced slots and tie-breaks.
+func TestMixPoliciesDeterministic(t *testing.T) {
+	tr1, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range MixPolicies() {
+		serveOnce := func(tr Trace) []byte {
+			t.Helper()
+			rt, err := New(Config{Platform: soc.Orin(), SolverTimeScale: 50, MixPolicy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := rt.Serve(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		}
+		a := serveOnce(tr1)
+		b := serveOnce(tr1)
+		c := serveOnce(tr2)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same trace, fresh runtimes: summaries differ", policy)
+		}
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: regenerated trace: summaries differ", policy)
+		}
+		var sum Summary
+		if err := json.Unmarshal(a, &sum); err != nil {
+			t.Fatal(err)
+		}
+		if sum.MixPolicy != policy {
+			t.Errorf("summary reports mix policy %q, want %q", sum.MixPolicy, policy)
+		}
+	}
+}
+
 // TestWarmReserveDeterministic: re-serving on one runtime rewinds the
 // timeline but keeps the cache warm — warm entries deploy their best
 // incumbent from round one (no replay against a dead clock), so warm runs

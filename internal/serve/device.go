@@ -42,6 +42,17 @@ type Device interface {
 	// this device — the affinity placement signal.
 	StandaloneMs(network string) (float64, error)
 
+	// MixPolicy names the active mix-forming policy shaping this device's
+	// dispatch rounds.
+	MixPolicy() string
+	// SetMix swaps the mix-forming policy from the next round on (nil
+	// restores the FIFO default) — the control plane's per-device hook.
+	SetMix(m MixFormer)
+	// PendingDemandSpread is the heaviest-minus-lightest estimated memory
+	// demand across the pending queue's networks — the offered-mix
+	// pressure signal a controller chooses mix policies by.
+	PendingDemandSpread() (float64, error)
+
 	// Completions returns every outcome recorded so far.
 	Completions() []Completion
 	// Rounds is the number of dispatch rounds executed.

@@ -66,6 +66,9 @@ type Summary struct {
 	Policy    string
 	Platform  string
 	Objective string
+	// MixPolicy names the mix-forming policy that shaped each round's
+	// batch ("fifo", "demand-balance", "slo-aware").
+	MixPolicy string
 
 	// DurationMs is the virtual makespan of the run (last completion).
 	DurationMs float64

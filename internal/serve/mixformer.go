@@ -1,0 +1,290 @@
+// Mix-forming layer: which pending requests run concurrently in the next
+// dispatch round. The paper's central observation is that *which networks
+// co-run* determines shared-memory contention; FIFO-prefix batching throws
+// that degree of freedom away. A MixFormer makes batch formation a policy:
+// the runtime hands it the eligible pending requests (with profiler demand
+// estimates and SLO deadlines) and the policy ranks the subset to dispatch.
+//
+// Three built-in policies:
+//
+//   - fifo: the oldest eligible requests, in arrival order — exactly the
+//     dispatcher's historical behavior and the compatibility default.
+//   - demand-balance: pairs memory-light with memory-heavy networks by
+//     alternating between the heaviest and lightest eligible candidates,
+//     capping the round's estimated aggregate memory pressure instead of
+//     letting two bandwidth-saturating networks collide.
+//   - slo-aware: deadline-urgency order — the requests with the least
+//     slack (arrival + SLO - round start) dispatch first, possibly as a
+//     non-contiguous subset of the queue.
+//
+// Every policy is deterministic: ties break toward the older request
+// (lower queue position), never toward map or slice iteration order. The
+// runtime — not the policy — enforces the starvation bound: an eligible
+// request passed over for Config.MaxWaitRounds consecutive rounds is
+// forced into the next batch ahead of the policy's own ranking.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Built-in mix-forming policy names.
+const (
+	// MixFIFO dispatches the oldest eligible requests (the default).
+	MixFIFO = "fifo"
+	// MixDemandBalance alternates heaviest/lightest memory demand.
+	MixDemandBalance = "demand-balance"
+	// MixSLOAware dispatches by deadline urgency (least slack first).
+	MixSLOAware = "slo-aware"
+)
+
+// Candidate is one eligible pending request as a mix-former sees it: the
+// request itself plus the signals policies rank by.
+type Candidate struct {
+	Request
+	// DemandGBps is the network's estimated standalone memory demand on
+	// this device (the profiler's time-weighted mean along the fastest
+	// path; see Runtime.DemandGBps). Zero when the active policy is not
+	// demand-aware — the runtime skips the estimate to keep the FIFO hot
+	// path free of profiling work.
+	DemandGBps float64
+	// WaitedRounds counts consecutive dispatch rounds this request was
+	// eligible for but passed over by the mix policy.
+	WaitedRounds int
+}
+
+// SlackMs is the request's deadline slack at the round start: time left
+// until arrival + SLO. Requests without an SLO have infinite slack.
+func (c Candidate) SlackMs(startMs float64) float64 {
+	if c.SLOMs <= 0 {
+		return math.Inf(1)
+	}
+	return c.ArrivalMs + c.SLOMs - startMs
+}
+
+// FormInput is one dispatch round's context.
+type FormInput struct {
+	// StartMs is the round's start on the virtual timeline.
+	StartMs float64
+	// MaxBatch caps the batch size (the workload-mix width).
+	MaxBatch int
+	// Eligible holds the pending requests that have arrived by StartMs,
+	// oldest first (queue order).
+	Eligible []Candidate
+}
+
+// MixFormer selects which eligible requests form a dispatch round.
+// Implementations must be deterministic and stateless across rounds: the
+// same input must yield the same selection, so reruns are byte-identical.
+type MixFormer interface {
+	// Name identifies the policy ("fifo", "demand-balance", "slo-aware").
+	Name() string
+	// DemandAware reports whether Form reads Candidate.DemandGBps; a
+	// demand-blind policy lets the runtime skip per-network profiling.
+	DemandAware() bool
+	// Form returns indices into in.Eligible, ranked most-preferred first,
+	// at most in.MaxBatch and without duplicates. The runtime composes
+	// the final batch: starved requests are forced in first, the policy's
+	// ranking fills the rest, and any remaining slots fall back to queue
+	// order — so a policy may return fewer indices than MaxBatch without
+	// shrinking the round.
+	Form(in FormInput) []int
+}
+
+// fifoFormer is the compatibility default: the dispatchable prefix of the
+// queue, exactly the pre-mix-former dispatcher.
+type fifoFormer struct{}
+
+// FIFO returns the first-in-first-out mix-forming policy.
+func FIFO() MixFormer { return fifoFormer{} }
+
+func (fifoFormer) Name() string      { return MixFIFO }
+func (fifoFormer) DemandAware() bool { return false }
+func (fifoFormer) Form(in FormInput) []int {
+	n := batchSize(in)
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sel
+}
+
+// demandBalance pairs extremes: candidates ordered by demand (heaviest
+// first, ties toward the older request), then taken alternately from the
+// heavy and light ends. With the platform-default batch width of two this
+// co-schedules each round's heaviest remaining network with the lightest,
+// so aggregate demand per round hovers near the mean instead of spiking
+// when two saturating networks happen to be adjacent in the queue.
+type demandBalance struct{}
+
+// DemandBalance returns the demand-balancing mix-forming policy.
+func DemandBalance() MixFormer { return demandBalance{} }
+
+func (demandBalance) Name() string      { return MixDemandBalance }
+func (demandBalance) DemandAware() bool { return true }
+func (demandBalance) Form(in FormInput) []int {
+	n := batchSize(in)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, len(in.Eligible))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := in.Eligible[order[a]].DemandGBps, in.Eligible[order[b]].DemandGBps
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	sel := make([]int, 0, n)
+	for lo, hi, heavy := 0, len(order)-1, true; len(sel) < n && lo <= hi; heavy = !heavy {
+		// A light turn only reaches across the queue when the light end is
+		// strictly lighter — on a uniform queue reordering buys nothing, so
+		// the policy degrades to FIFO.
+		if heavy || in.Eligible[order[hi]].DemandGBps >= in.Eligible[order[lo]].DemandGBps {
+			sel = append(sel, order[lo])
+			lo++
+		} else {
+			sel = append(sel, order[hi])
+			hi--
+		}
+	}
+	return sel
+}
+
+// sloAware ranks by deadline slack: the request closest to missing its
+// SLO dispatches first. Requests without SLOs sort last (infinite slack);
+// among equal slacks the older request wins. The runtime's max-wait bound
+// keeps slack-rich requests from starving behind a stream of urgent ones.
+type sloAware struct{}
+
+// SLOAware returns the deadline-urgency mix-forming policy.
+func SLOAware() MixFormer { return sloAware{} }
+
+func (sloAware) Name() string      { return MixSLOAware }
+func (sloAware) DemandAware() bool { return false }
+func (sloAware) Form(in FormInput) []int {
+	n := batchSize(in)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, len(in.Eligible))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := in.Eligible[order[a]].SlackMs(in.StartMs), in.Eligible[order[b]].SlackMs(in.StartMs)
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+	return order[:n]
+}
+
+// batchSize clamps the round width to the eligible count.
+func batchSize(in FormInput) int {
+	n := in.MaxBatch
+	if n > len(in.Eligible) {
+		n = len(in.Eligible)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// MixedDemandTenants is the canonical mixed-memory-demand workload the
+// mix-forming demos, acceptance tests and the BENCH_serve.json baseline
+// all serve: four in-phase periodic tenants whose networks span the Orin
+// demand range (SqueezeNet ~91 GB/s down to ResNet18 ~71 GB/s), so every
+// 8 ms burst offers a real pairing choice. The demand-balanced partition
+// (SqueezeNet+ResNet18, Inception+ResNet152) has a ~23% lower summed
+// round makespan than the arrival-order partition, which is where the
+// fifo-vs-demand-balance win comes from.
+func MixedDemandTenants() []TenantSpec {
+	return []TenantSpec{
+		{Name: "squeeze", Network: "SqueezeNet", PeriodMs: 8, SLOMs: 7},
+		{Name: "incept", Network: "Inception", PeriodMs: 8, SLOMs: 7},
+		{Name: "res152", Network: "ResNet152", PeriodMs: 8, SLOMs: 7},
+		{Name: "res18", Network: "ResNet18", PeriodMs: 8, SLOMs: 7},
+	}
+}
+
+// MixPolicies lists the built-in mix-forming policy names.
+func MixPolicies() []string { return []string{MixFIFO, MixDemandBalance, MixSLOAware} }
+
+// MixPolicyName canonicalizes a policy name ("" means the FIFO default).
+func MixPolicyName(name string) string {
+	if name == "" {
+		return MixFIFO
+	}
+	return name
+}
+
+// NewMixFormer returns the named built-in policy; "" selects FIFO.
+func NewMixFormer(name string) (MixFormer, error) {
+	switch MixPolicyName(name) {
+	case MixFIFO:
+		return FIFO(), nil
+	case MixDemandBalance:
+		return DemandBalance(), nil
+	case MixSLOAware:
+		return SLOAware(), nil
+	}
+	return nil, fmt.Errorf("serve: unknown mix policy %q (want %s)", name, strings.Join(MixPolicies(), ", "))
+}
+
+// composeBatch turns a policy's ranked selection into the round's final
+// pick set, in queue order. The starvation bound claims the first slot:
+// when the oldest eligible request has been passed over for maxWait
+// consecutive rounds it is forced into this batch ahead of the policy's
+// ranking (one forced slot per round — every queued request becomes the
+// oldest eventually, so progress is bounded without collapsing the whole
+// batch back to FIFO under deep queues). The policy's ranking fills the
+// remaining slots, and queue order tops up anything the policy left
+// unfilled: the round always dispatches min(maxBatch, len(eligible))
+// requests, so no policy can stall the queue. Returns an error on an
+// out-of-range or duplicate index — a broken policy fails loudly, not
+// silently.
+func composeBatch(sel []int, eligible []Candidate, maxBatch, maxWait int) ([]int, error) {
+	n := maxBatch
+	if n > len(eligible) {
+		n = len(eligible)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	taken := make([]bool, len(eligible))
+	picks := make([]int, 0, n)
+	add := func(i int) {
+		if len(picks) < n && !taken[i] {
+			taken[i] = true
+			picks = append(picks, i)
+		}
+	}
+	if len(eligible) > 0 && eligible[0].WaitedRounds >= maxWait {
+		add(0)
+	}
+	seen := make([]bool, len(eligible))
+	for _, i := range sel {
+		if i < 0 || i >= len(eligible) {
+			return nil, fmt.Errorf("selection index %d out of range [0,%d)", i, len(eligible))
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("selection index %d duplicated", i)
+		}
+		seen[i] = true
+		add(i)
+	}
+	for i := 0; len(picks) < n; i++ {
+		add(i)
+	}
+	sort.Ints(picks)
+	return picks, nil
+}

@@ -5,10 +5,14 @@
 // SoC's accelerators using contention-aware schedules and execute them on
 // the ground-truth simulator in virtual time.
 //
-// The dispatcher works in rounds: at each round it takes the oldest
-// pending requests (up to MaxBatch), forms the active workload mix — the
-// multiset of co-running networks — and asks the schedule cache for that
-// mix's schedule. Repeated mixes reuse solved schedules; unseen mixes are
+// The dispatcher works in rounds: at each round a pluggable mix-forming
+// policy (MixFormer) selects which eligible pending requests run
+// concurrently — the active workload mix, the multiset of co-running
+// networks — and asks the schedule cache for that mix's schedule. The
+// default "fifo" policy takes the oldest requests (up to MaxBatch);
+// "demand-balance" pairs memory-light with memory-heavy networks using
+// the profiler's demand estimates; "slo-aware" dispatches by deadline
+// urgency. Repeated mixes reuse solved schedules; unseen mixes are
 // served immediately on the best naive schedule while the anytime solver's
 // incumbent stream upgrades the cache entry in the (virtual) background,
 // exactly the D-HaX-CoNN operating regime of Sec. 3.5 applied to
@@ -98,6 +102,21 @@ type Config struct {
 	// round (the size of the workload mix). Default: the number of
 	// DNN-capable accelerators on the platform.
 	MaxBatch int
+	// MixPolicy names the mix-forming policy that selects which pending
+	// requests form each dispatch round: "fifo" (the default — the oldest
+	// eligible requests, the dispatcher's historical behavior),
+	// "demand-balance" or "slo-aware". See MixPolicies.
+	MixPolicy string
+	// Mix, when set, overrides MixPolicy with a custom policy instance.
+	Mix MixFormer
+	// MaxWaitRounds bounds starvation under non-FIFO mix policies: when
+	// the oldest eligible request has been passed over for this many
+	// consecutive rounds it is forced into the next batch ahead of the
+	// policy's ranking — one forced slot per round, so every queued
+	// request makes progress once it reaches the queue head. Zero means
+	// DefaultMaxWaitRounds. FIFO never triggers it (the prefix always
+	// contains the oldest request).
+	MaxWaitRounds int
 	// MaxQueue caps a tenant's pending (admitted, undispatched) requests;
 	// arrivals beyond it are rejected. Zero means unlimited.
 	MaxQueue int
@@ -127,12 +146,15 @@ type Config struct {
 type Runtime struct {
 	cfg        Config
 	cache      *Cache
+	former     MixFormer
 	standalone map[string]float64 // per-network standalone service estimate
+	demand     map[string]float64 // per-network standalone memory-demand estimate
 
 	// Virtual-timeline state, advanced by Offer and Step.
 	clockMs     float64 // end of the last dispatched round
 	busyMs      float64 // total round time (clock advance while dispatching)
 	pending     []Request
+	waited      []int // rounds pending[i] was eligible but passed over
 	queued      map[string]int
 	completions []Completion
 	rounds      int
@@ -149,8 +171,16 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("serve: nil platform")
 	}
-	if cfg.MaxBatch < 0 || cfg.MaxQueue < 0 || cfg.AdmitSLOFactor < 0 {
+	if cfg.MaxBatch < 0 || cfg.MaxQueue < 0 || cfg.AdmitSLOFactor < 0 || cfg.MaxWaitRounds < 0 {
 		return nil, fmt.Errorf("serve: negative config value")
+	}
+	former := cfg.Mix
+	if former == nil {
+		var err error
+		former, err = NewMixFormer(cfg.MixPolicy)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Name == "" {
 		cfg.Name = cfg.Platform.Name
@@ -201,10 +231,25 @@ func New(cfg Config) (*Runtime, error) {
 	return &Runtime{
 		cfg:        cfg,
 		cache:      cache,
+		former:     former,
 		standalone: map[string]float64{},
+		demand:     map[string]float64{},
 		queued:     map[string]int{},
 		lastSched:  map[string]*schedule.Schedule{},
 	}, nil
+}
+
+// DefaultMaxWaitRounds is the starvation bound under non-FIFO mix
+// policies: the oldest eligible request is forced into the next round
+// after being passed over this many consecutive times.
+const DefaultMaxWaitRounds = 4
+
+// maxWait resolves the configured starvation bound.
+func (r *Runtime) maxWait() int {
+	if r.cfg.MaxWaitRounds > 0 {
+		return r.cfg.MaxWaitRounds
+	}
+	return DefaultMaxWaitRounds
 }
 
 // Cache exposes the runtime's schedule cache (for inspection and tests).
@@ -215,6 +260,20 @@ func (r *Runtime) Name() string { return r.cfg.Name }
 
 // Platform returns the SoC the runtime serves on.
 func (r *Runtime) Platform() *soc.Platform { return r.cfg.Platform }
+
+// MixPolicy returns the active mix-forming policy's name.
+func (r *Runtime) MixPolicy() string { return r.former.Name() }
+
+// SetMix swaps the mix-forming policy, taking effect at the next dispatch
+// round (nil restores the FIFO default). The control plane uses it to
+// choose a policy per device from offered-mix pressure; the swap survives
+// Reset, like the schedule cache.
+func (r *Runtime) SetMix(m MixFormer) {
+	if m == nil {
+		m = FIFO()
+	}
+	r.former = m
+}
 
 // ClockMs returns the end of the last dispatched round — the earliest
 // virtual time the device is free again.
@@ -254,6 +313,7 @@ func (r *Runtime) Reset() {
 	r.clockMs = 0
 	r.busyMs = 0
 	r.pending = nil
+	r.waited = nil
 	r.queued = map[string]int{}
 	r.completions = nil
 	r.rounds = 0
@@ -285,6 +345,64 @@ func (r *Runtime) StandaloneMs(network string) (float64, error) {
 	ms := schedule.MinBaseLatencyMs(pr, 0, 1)
 	r.standalone[network] = ms
 	return ms, nil
+}
+
+// DemandGBps estimates a network's standalone memory demand on this
+// device: the time-weighted mean of per-group demand along the fastest
+// per-group accelerator path (the same path StandaloneMs costs). It is
+// the demand-balance mix policy's ranking signal — computed from the
+// profiler's characterization, memoized per network, and independent of
+// the schedule cache so demand ranking never perturbs hit accounting.
+func (r *Runtime) DemandGBps(network string) (float64, error) {
+	if d, ok := r.demand[network]; ok {
+		return d, nil
+	}
+	_, pr, err := core.Prepare(core.Request{
+		Platform:  r.cfg.Platform,
+		Networks:  []string{network},
+		MaxGroups: r.cfg.MaxGroups,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var weighted, total float64
+	for g := range pr.Groups[0] {
+		best := pr.Allowed[0]
+		for _, a := range pr.Allowed {
+			if pr.Exec[0][g][a].LatencyMs < pr.Exec[0][g][best].LatencyMs {
+				best = a
+			}
+		}
+		e := pr.Exec[0][g][best]
+		weighted += e.LatencyMs * e.DemandGBps
+		total += e.LatencyMs
+	}
+	d := 0.0
+	if total > 0 {
+		d = weighted / total
+	}
+	r.demand[network] = d
+	return d, nil
+}
+
+// PendingDemandSpread is the gap between the heaviest and lightest
+// estimated memory demand among pending requests' networks — the
+// offered-mix pressure signal the control plane reads when choosing a
+// device's mix policy. Zero with fewer than two pending requests.
+func (r *Runtime) PendingDemandSpread() (float64, error) {
+	if len(r.pending) < 2 {
+		return 0, nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range r.pending {
+		d, err := r.DemandGBps(p.Network)
+		if err != nil {
+			return 0, err
+		}
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	return hi - lo, nil
 }
 
 // BacklogMs estimates the queueing delay a new arrival would see: the sum
@@ -360,6 +478,7 @@ func (r *Runtime) Offer(req Request) (bool, error) {
 	}
 	r.queued[req.Tenant]++
 	r.pending = append(r.pending, req)
+	r.waited = append(r.waited, 0)
 	return false, nil
 }
 
@@ -373,26 +492,71 @@ func (r *Runtime) NextStartMs() float64 {
 	return math.Max(r.clockMs, r.pending[0].ArrivalMs)
 }
 
-// Step dispatches one round: the oldest pending requests (up to MaxBatch,
-// all arrived by the round start) form the workload mix, the schedule cache
-// supplies the mix's schedule, and the ground-truth simulator executes it.
-// The device clock advances to the round's end. Step is a no-op when
-// nothing is pending.
+// Step dispatches one round: the mix-forming policy selects up to
+// MaxBatch eligible pending requests (all arrived by the round start) as
+// the workload mix, the schedule cache supplies the mix's schedule, and
+// the ground-truth simulator executes it. The runtime enforces the
+// starvation bound around the policy (see Config.MaxWaitRounds). The
+// device clock advances to the round's end. Step is a no-op when nothing
+// is pending.
 func (r *Runtime) Step() error {
 	start := r.NextStartMs()
 	if math.IsInf(start, 1) {
 		return nil
 	}
-	n := r.cfg.MaxBatch
-	if n > len(r.pending) {
-		n = len(r.pending)
+	// Pending is in arrival order, so the eligible set — everything that
+	// has arrived by the round start — is a contiguous prefix.
+	m := len(r.pending)
+	for m > 0 && r.pending[m-1].ArrivalMs > start {
+		m--
 	}
-	// Pending is in arrival order, so the dispatchable prefix is contiguous.
-	for n > 0 && r.pending[n-1].ArrivalMs > start {
-		n--
+	// The FIFO former only ever reads the first MaxBatch candidates, so
+	// cap the materialized view and keep the default hot path O(MaxBatch)
+	// per round instead of O(backlog) — the pre-mix-former dispatcher's
+	// cost. (Requests beyond the cap would be dispatched before their
+	// wait could ever matter, so aging them is moot.)
+	if _, fifo := r.former.(fifoFormer); fifo && m > r.cfg.MaxBatch {
+		m = r.cfg.MaxBatch
 	}
-	batch := append([]Request(nil), r.pending[:n]...)
-	r.pending = append(r.pending[:0], r.pending[n:]...)
+	cands := make([]Candidate, m)
+	for i := 0; i < m; i++ {
+		cands[i] = Candidate{Request: r.pending[i], WaitedRounds: r.waited[i]}
+	}
+	if r.former.DemandAware() {
+		for i := range cands {
+			d, err := r.DemandGBps(cands[i].Network)
+			if err != nil {
+				return err
+			}
+			cands[i].DemandGBps = d
+		}
+	}
+	sel := r.former.Form(FormInput{StartMs: start, MaxBatch: r.cfg.MaxBatch, Eligible: cands})
+	picks, err := composeBatch(sel, cands, r.cfg.MaxBatch, r.maxWait())
+	if err != nil {
+		return fmt.Errorf("serve: mix policy %s: %v", r.former.Name(), err)
+	}
+	n := len(picks)
+	batch := make([]Request, 0, n)
+	for _, i := range picks {
+		batch = append(batch, r.pending[i])
+	}
+	// Remove the batch from the queue (picks are in ascending queue
+	// order); every eligible request passed over ages one round.
+	keepReq, keepWait, pi := r.pending[:0], r.waited[:0], 0
+	for i := range r.pending {
+		if pi < len(picks) && picks[pi] == i {
+			pi++
+			continue
+		}
+		w := r.waited[i]
+		if i < m {
+			w++
+		}
+		keepReq = append(keepReq, r.pending[i])
+		keepWait = append(keepWait, w)
+	}
+	r.pending, r.waited = keepReq, keepWait
 	for _, b := range batch {
 		r.queued[b.Tenant]--
 	}
@@ -446,6 +610,7 @@ func (r *Runtime) Step() error {
 // Summary folds the outcomes recorded so far into a serving summary.
 func (r *Runtime) Summary() *Summary {
 	sum := Summarize(r.completions, r.cfg.Policy, r.cfg.Platform.Name, r.cfg.Objective)
+	sum.MixPolicy = r.former.Name()
 	sum.Rounds = r.rounds
 	sum.CacheHits, sum.CacheMisses, sum.CacheUpgrades = r.hits, r.misses, r.upgrades
 	if t := sum.CacheHits + sum.CacheMisses; t > 0 {
@@ -526,4 +691,59 @@ func (c *Comparison) P99ImprovementPct() float64 {
 // ViolationsAvoided is the reduction in SLO violations.
 func (c *Comparison) ViolationsAvoided() int {
 	return c.Naive.Total.Violations - c.Aware.Total.Violations
+}
+
+// MixComparison serves one trace under several mix-forming policies with
+// everything else held fixed — the experiment that quantifies what batch
+// formation is worth. Results[0] is the baseline the improvement helpers
+// compare against.
+type MixComparison struct {
+	// Policies names the compared mix policies, in run order.
+	Policies []string
+	// Results holds one summary per policy, same order.
+	Results []*Summary
+}
+
+// CompareMixes serves the same trace under each named mix policy (default:
+// fifo then demand-balance) on otherwise identical runtimes. Each policy
+// gets a fresh runtime and cache, so the comparison isolates batch
+// formation from cache warmth.
+func CompareMixes(cfg Config, tr Trace, policies ...string) (*MixComparison, error) {
+	if len(policies) == 0 {
+		policies = []string{MixFIFO, MixDemandBalance}
+	}
+	out := &MixComparison{Policies: append([]string(nil), policies...)}
+	for _, pol := range policies {
+		c := cfg
+		c.MixPolicy = pol
+		c.Mix = nil
+		rt, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, sum)
+	}
+	return out, nil
+}
+
+// P99ImprovementPct is policy i's total-p99 reduction over the baseline
+// (Results[0]), in percent (positive = policy i is better).
+func (m *MixComparison) P99ImprovementPct(i int) float64 {
+	if m.Results[0].Total.P99Ms <= 0 {
+		return 0
+	}
+	return 100 * (1 - m.Results[i].Total.P99Ms/m.Results[0].Total.P99Ms)
+}
+
+// ThroughputImprovementPct is policy i's completed-throughput gain over
+// the baseline, in percent.
+func (m *MixComparison) ThroughputImprovementPct(i int) float64 {
+	if m.Results[0].Total.ThroughputRPS <= 0 {
+		return 0
+	}
+	return 100 * (m.Results[i].Total.ThroughputRPS/m.Results[0].Total.ThroughputRPS - 1)
 }
