@@ -31,11 +31,13 @@ func serveBenchTrace(b *testing.B) serve.Trace {
 	return tr
 }
 
-// BenchmarkServeMixFormers serves the mixed-demand trace under fifo and
-// demand-balance mix forming on one Orin. Headline metrics: per-policy
-// throughput and p99, and the demand-balance improvement the acceptance
-// test asserts — a shrinking p99_impr_pct means batch formation stopped
-// paying for itself.
+// BenchmarkServeMixFormers serves the mixed-demand trace under fifo,
+// demand-balance and contention-aware mix forming on one Orin. Headline
+// metrics: per-policy throughput and p99, the demand-balance improvement
+// the acceptance test asserts — a shrinking p99_impr_pct means batch
+// formation stopped paying for itself — and the contention-aware leg's
+// p99 and violation win over fifo (its model-scored dispatch cost shows
+// up in the benchmark's own wall time).
 func BenchmarkServeMixFormers(b *testing.B) {
 	tr := serveBenchTrace(b)
 	var cmp *serve.MixComparison
@@ -46,17 +48,20 @@ func BenchmarkServeMixFormers(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	fifo, db := cmp.Results[0].Total, cmp.Results[1].Total
+	fifo, db, ca := cmp.Results[0].Total, cmp.Results[1].Total, cmp.Results[2].Total
 	// The raw per-policy rps already gate throughput; the derived
 	// throughput delta is a near-zero difference of large numbers and
 	// would trip the relative-tolerance gate on any one-request shift.
 	metrics := map[string]float64{
-		"fifo_rps":           fifo.ThroughputRPS,
-		"fifo_p99_ms":        fifo.P99Ms,
-		"balance_rps":        db.ThroughputRPS,
-		"balance_p99_ms":     db.P99Ms,
-		"p99_impr_pct":       cmp.P99ImprovementPct(1),
-		"violations_avoided": float64(fifo.Violations - db.Violations),
+		"fifo_rps":                      fifo.ThroughputRPS,
+		"fifo_p99_ms":                   fifo.P99Ms,
+		"balance_rps":                   db.ThroughputRPS,
+		"balance_p99_ms":                db.P99Ms,
+		"p99_impr_pct":                  cmp.P99ImprovementPct(1),
+		"violations_avoided":            float64(fifo.Violations - db.Violations),
+		"contention_rps":                ca.ThroughputRPS,
+		"contention_p99_ms":             ca.P99Ms,
+		"contention_violations_avoided": float64(fifo.Violations - ca.Violations),
 	}
 	reportAndRecordServe(b, "BenchmarkServeMixFormers", metrics)
 }

@@ -12,8 +12,9 @@
 // which every tenant's rate is multiplied by N. -mix sets the fleet's
 // mix-forming policy, and -adaptivemix lets the controller switch a
 // device to demand-balance while its pending demand spread exceeds
-// -mixspread (every switch appears in the decision log as a "mix"
-// event).
+// -mixspread — or to contention-aware when -mixbeam grants a scoring
+// budget (every switch, and the restore when the spread subsides or the
+// device drains, appears in the decision log as a "mix" event).
 //
 // Modes:
 //
@@ -45,7 +46,6 @@ import (
 	"haxconn/internal/fleet"
 	"haxconn/internal/nn"
 	"haxconn/internal/report"
-	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 	"haxconn/internal/soc"
 )
@@ -68,6 +68,7 @@ func main() {
 		maxWait   = flag.Int("maxwait", 0, "rounds a request may be passed over by a non-FIFO mix policy before being forced (0 = default)")
 		adaptive  = flag.Bool("adaptivemix", false, "let the controller switch devices to demand-balance when their pending demand spread exceeds -mixspread")
 		mixSpread = flag.Float64("mixspread", control.DefaultMixSpreadGBps, "pending demand-spread threshold (GB/s) for -adaptivemix")
+		mixBeam   = flag.Int("mixbeam", 0, "scoring budget for -adaptivemix: when > 0, spread-triggered switches escalate to contention-aware with this beam width")
 		nomigrate = flag.Bool("nomigrate", false, "disable SLO-pressure migration (tenants stay on first assignment)")
 		tenants   = flag.String("tenants", "cam-a:VGG19:20:10,cam-b:VGG19:20:10,scorer-a:ResNet152:20:12,scorer-b:ResNet152:20:12", "tenant specs as name:network:rate:slo, comma-separated")
 		duration  = flag.Float64("duration", 2000, "trace duration in virtual ms")
@@ -112,6 +113,7 @@ func main() {
 		Fleet: fleet.Config{
 			Devices:         pool,
 			MixPolicy:       *mix,
+			ScoreBeam:       *mixBeam,
 			MaxWaitRounds:   *maxWait,
 			SolverTimeScale: *scale,
 		},
@@ -129,14 +131,10 @@ func main() {
 		NoMigration:       *nomigrate,
 		AdaptiveMix:       *adaptive,
 		MixSpreadGBps:     *mixSpread,
+		MixScoreBeam:      *mixBeam,
 	}
-	switch *objective {
-	case "latency":
-		cfg.Fleet.Objective = schedule.MinMaxLatency
-	case "fps":
-		cfg.Fleet.Objective = schedule.MaxThroughput
-	default:
-		fatalf("unknown objective %q", *objective)
+	if cfg.Fleet.Objective, err = cliutil.ParseObjective(*objective); err != nil {
+		fatalf("%v", err)
 	}
 
 	fmt.Printf("dispatching %d requests from %d tenants (burst %q) | pool %s, grow %s, max %d\n\n",

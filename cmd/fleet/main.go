@@ -6,7 +6,11 @@
 // "Orin:2,Xavier,SD865" is two Orins, one Xavier and one Snapdragon 865.
 // Tenants are specified as name:network:rate:slo exactly as in cmd/serve,
 // and -mix selects the per-device mix-forming policy (fifo,
-// demand-balance or slo-aware; see cmd/serve).
+// demand-balance, slo-aware or contention-aware; see cmd/serve, -mixbeam
+// sets the scoring beam). -placement chooses how arrivals are routed:
+// round-robin, least-loaded, affinity, or mix-aware (steer each arrival
+// toward the device whose pending queue its predicted contention
+// balances best — cross-device mix forming).
 //
 // Modes:
 //
@@ -35,7 +39,6 @@ import (
 	"haxconn/internal/fleet"
 	"haxconn/internal/nn"
 	"haxconn/internal/report"
-	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 	"haxconn/internal/soc"
 )
@@ -52,6 +55,7 @@ func main() {
 		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
 		policy    = flag.String("policy", "aware", "per-device serving policy: aware or naive")
 		mix       = flag.String("mix", "fifo", "per-device mix-forming policy: "+strings.Join(serve.MixPolicies(), ", "))
+		mixBeam   = flag.Int("mixbeam", 0, "candidate batches the contention-aware mix policy scores per round (0 = default)")
 		maxBatch  = flag.Int("maxbatch", 0, "max concurrent requests per device dispatch round (default: #accelerators)")
 		maxQueue  = flag.Int("maxqueue", 0, "per-tenant pending-queue cap per device; 0 = unlimited")
 		admitSLO  = flag.Float64("admitslo", 0, "reject requests whose estimated latency exceeds this factor x SLO; 0 = admit all")
@@ -94,6 +98,7 @@ func main() {
 	cfg := fleet.Config{
 		Devices:         pool,
 		MixPolicy:       *mix,
+		ScoreBeam:       *mixBeam,
 		MaxBatch:        *maxBatch,
 		MaxQueue:        *maxQueue,
 		AdmitSLOFactor:  *admitSLO,
@@ -101,13 +106,8 @@ func main() {
 		SolverTimeScale: *scale,
 		PrivateCaches:   *private,
 	}
-	switch *objective {
-	case "latency":
-		cfg.Objective = schedule.MinMaxLatency
-	case "fps":
-		cfg.Objective = schedule.MaxThroughput
-	default:
-		fatalf("unknown objective %q", *objective)
+	if cfg.Objective, err = cliutil.ParseObjective(*objective); err != nil {
+		fatalf("%v", err)
 	}
 	switch *policy {
 	case "aware":

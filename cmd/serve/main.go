@@ -8,10 +8,13 @@
 //
 // -mix selects how each dispatch round's batch is formed: fifo (oldest
 // requests first, the default), demand-balance (pair memory-light with
-// memory-heavy networks using profiler demand estimates) or slo-aware
-// (deadline-urgency order). Compare mode additionally serves the trace
-// under fifo and demand-balance mix forming and reports the batching win
-// next to the naive-vs-aware scheduling win.
+// memory-heavy networks using profiler demand estimates), slo-aware
+// (deadline-urgency order) or contention-aware (score a bounded beam of
+// candidate batches with the analytic contention model — -mixbeam sets
+// the beam width — and dispatch the best-predicted one). Compare mode
+// additionally serves the trace under fifo, demand-balance and
+// contention-aware mix forming and reports the batching win next to the
+// naive-vs-aware scheduling win; -mixcsv exports that table.
 //
 // Solved schedule caches persist across runs: -cache-save writes the
 // cache's entries (mix + best-known assignment) as JSON after serving, and
@@ -40,7 +43,6 @@ import (
 	"haxconn/internal/cliutil"
 	"haxconn/internal/nn"
 	"haxconn/internal/report"
-	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 	"haxconn/internal/soc"
 )
@@ -55,12 +57,14 @@ func main() {
 		mode      = flag.String("mode", "compare", "serving mode: aware, naive or compare")
 		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
 		mix       = flag.String("mix", "fifo", "mix-forming policy: "+strings.Join(serve.MixPolicies(), ", "))
+		mixBeam   = flag.Int("mixbeam", 0, "candidate batches the contention-aware mix policy scores per round (0 = default)")
 		maxBatch  = flag.Int("maxbatch", 0, "max concurrent requests per dispatch round (default: #accelerators)")
 		maxQueue  = flag.Int("maxqueue", 0, "per-tenant pending-queue cap; 0 = unlimited")
 		admitSLO  = flag.Float64("admitslo", 0, "reject requests whose estimated latency exceeds this factor x SLO; 0 = admit all")
 		maxWait   = flag.Int("maxwait", 0, "rounds a request may be passed over by a non-FIFO mix policy before being forced (0 = default)")
 		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see autoloop)")
 		csvOut    = flag.String("csv", "", "write per-tenant statistics as CSV to this file")
+		mixCSVOut = flag.String("mixcsv", "", "write the mix-forming comparison as CSV to this file (-mode compare)")
 		jsonOut   = flag.String("json", "", "write the full summary as JSON to this file")
 		cacheSave = flag.String("cache-save", "", "write the solved schedule cache as JSON to this file after serving (modes aware/naive)")
 		cacheLoad = flag.String("cache-load", "", "seed the schedule cache from a -cache-save file before serving, skipping re-solves of known mixes")
@@ -97,19 +101,15 @@ func main() {
 		Platform:        p,
 		Policy:          serve.ContentionAware,
 		MixPolicy:       *mix,
+		ScoreBeam:       *mixBeam,
 		MaxBatch:        *maxBatch,
 		MaxQueue:        *maxQueue,
 		AdmitSLOFactor:  *admitSLO,
 		MaxWaitRounds:   *maxWait,
 		SolverTimeScale: *scale,
 	}
-	switch *objective {
-	case "latency":
-		cfg.Objective = schedule.MinMaxLatency
-	case "fps":
-		cfg.Objective = schedule.MaxThroughput
-	default:
-		fatalf("unknown objective %q", *objective)
+	if cfg.Objective, err = cliutil.ParseObjective(*objective); err != nil {
+		fatalf("%v", err)
 	}
 
 	fmt.Printf("serving %d requests from %d tenants on %s (%s arrivals, %.0f ms, %s mix forming)\n\n",
@@ -117,6 +117,9 @@ func main() {
 
 	switch *mode {
 	case "aware", "naive":
+		if *mixCSVOut != "" {
+			fatalf("-mixcsv needs -mode compare (the mix-forming comparison is only built there)")
+		}
 		if *mode == "naive" {
 			cfg.Policy = serve.NaiveGPUOnly
 		}
@@ -176,6 +179,10 @@ func main() {
 			func(w io.Writer) error { return report.ServingComparisonCSV(w, cmp) }, out); err != nil {
 			fatalf("%v", err)
 		}
+		if err := cliutil.WriteOutputs(*mixCSVOut, "",
+			func(w io.Writer) error { return report.MixComparisonCSV(w, mixCmp) }, nil); err != nil {
+			fatalf("%v", err)
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -196,28 +203,34 @@ func printSummary(w io.Writer, sum *serve.Summary) {
 		sum.Rounds, sum.CacheMisses, sum.CacheHits, 100*sum.CacheHitRate, sum.CacheUpgrades)
 }
 
-// compareMixesFrom builds the fifo-vs-demand-balance comparison, reusing
-// the already-served aware summary as the fifo leg when the configured
-// policy is fifo (the default) — the runs are byte-identical by the
-// repo's determinism guarantee, so re-serving would be pure waste.
+// compareMixesFrom builds the fifo-vs-demand-balance-vs-contention-aware
+// comparison, reusing the already-served aware summary as the fifo leg
+// when the configured policy is fifo (the default) — the runs are
+// byte-identical by the repo's determinism guarantee, so re-serving would
+// be pure waste.
 func compareMixesFrom(cfg serve.Config, tr serve.Trace, aware *serve.Summary) (*serve.MixComparison, error) {
 	if serve.MixPolicyName(cfg.MixPolicy) != serve.MixFIFO || cfg.Mix != nil {
 		return serve.CompareMixes(cfg, tr)
 	}
-	db := cfg
-	db.MixPolicy = serve.MixDemandBalance
-	rt, err := serve.New(db)
-	if err != nil {
-		return nil, err
+	out := &serve.MixComparison{
+		Policies: []string{serve.MixFIFO},
+		Results:  []*serve.Summary{aware},
 	}
-	sum, err := rt.Serve(tr)
-	if err != nil {
-		return nil, err
+	for _, pol := range []string{serve.MixDemandBalance, serve.MixContentionAware} {
+		c := cfg
+		c.MixPolicy = pol
+		rt, err := serve.New(c)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			return nil, err
+		}
+		out.Policies = append(out.Policies, pol)
+		out.Results = append(out.Results, sum)
 	}
-	return &serve.MixComparison{
-		Policies: []string{serve.MixFIFO, serve.MixDemandBalance},
-		Results:  []*serve.Summary{aware, sum},
-	}, nil
+	return out, nil
 }
 
 // printMixComparison renders the mix-forming comparison (compare mode):

@@ -38,18 +38,27 @@ func TestCompareModeMixWin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fifo, db := cmp.Results[0].Total, cmp.Results[1].Total
+	fifo, db, ca := cmp.Results[0].Total, cmp.Results[1].Total, cmp.Results[2].Total
 	if db.P99Ms >= fifo.P99Ms {
 		t.Errorf("compare mode: demand-balance p99 %.2f ms not better than fifo %.2f ms", db.P99Ms, fifo.P99Ms)
 	}
 	if db.ThroughputRPS < fifo.ThroughputRPS {
 		t.Errorf("compare mode: demand-balance throughput %.1f rps lost to fifo %.1f", db.ThroughputRPS, fifo.ThroughputRPS)
 	}
+	// The contention-aware leg must beat demand-balance on p99 or SLO
+	// violations (and lose neither) — the tentpole's CLI-level assertion.
+	if ca.P99Ms > db.P99Ms || ca.Violations > db.Violations {
+		t.Errorf("compare mode: contention-aware (p99 %.2f, viol %d) worse than demand-balance (p99 %.2f, viol %d)",
+			ca.P99Ms, ca.Violations, db.P99Ms, db.Violations)
+	}
+	if ca.P99Ms >= db.P99Ms && ca.Violations >= db.Violations {
+		t.Errorf("compare mode: contention-aware strictly beats demand-balance on neither p99 nor violations")
+	}
 
 	var buf bytes.Buffer
 	printMixComparison(&buf, cmp)
 	out := buf.String()
-	for _, want := range []string{"fifo", "demand-balance", "mix forming:"} {
+	for _, want := range []string{"fifo", "demand-balance", "contention-aware", "mix forming:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("mix comparison output missing %q:\n%s", want, out)
 		}

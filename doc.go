@@ -4,8 +4,10 @@
 //
 // The public pipeline lives in internal/core; the online serving runtime
 // in internal/serve, whose pluggable mix-forming dispatch (fifo,
-// demand-balance, slo-aware) decides which networks co-run each round;
-// the benchmark suite in bench_test.go regenerates every table and
-// figure of the paper's evaluation. See README.md for a package tour and
-// quickstart.
+// demand-balance, slo-aware, contention-aware — the last scoring a beam
+// of candidate batches with the analytic contention model) decides which
+// networks co-run each round; internal/fleet extends mix-awareness above
+// the device boundary with the mix-aware placement policy; the benchmark
+// suite in bench_test.go regenerates every table and figure of the
+// paper's evaluation. See README.md for a package tour and quickstart.
 package haxconn

@@ -15,9 +15,23 @@ import (
 
 	"haxconn/internal/fleet"
 	"haxconn/internal/report"
+	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 	"haxconn/internal/soc"
 )
+
+// ParseObjective maps the serving commands' -objective flag value to the
+// per-mix scheduling objective: "latency" (MinMaxLatency, Eq. 11) or
+// "fps" (MaxThroughput, Eq. 10).
+func ParseObjective(name string) (schedule.Objective, error) {
+	switch name {
+	case "latency":
+		return schedule.MinMaxLatency, nil
+	case "fps":
+		return schedule.MaxThroughput, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want latency or fps)", name)
+}
 
 // ParseTenants parses comma-separated name:network:rate:slo tenant specs.
 // With "poisson" arrivals the rate field is requests per second; with

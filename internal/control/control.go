@@ -98,13 +98,21 @@ type Config struct {
 	// AdaptiveMix lets the controller choose each device's mix-forming
 	// policy from offered-mix pressure: when the spread between the
 	// heaviest and lightest estimated memory demand in a device's pending
-	// queue exceeds MixSpreadGBps, the device switches to demand-balance;
-	// once the spread falls back below, it returns to the policy the
-	// device was configured with (the fleet default or its spec's
-	// override). Every switch is logged as a "mix" scale event.
+	// queue exceeds MixSpreadGBps, the device switches to demand-balance
+	// (or contention-aware, when MixScoreBeam grants a scoring budget);
+	// once the spread falls back below — or the device starts draining —
+	// it returns to the policy the device was configured with (the fleet
+	// default or its spec's override). Every switch is logged as a "mix"
+	// scale event.
 	AdaptiveMix bool
 	// MixSpreadGBps is the demand-spread threshold (default 10).
 	MixSpreadGBps float64
+	// MixScoreBeam is the adaptive hook's scoring budget: when positive, a
+	// spread-triggered switch escalates to the contention-aware mix policy
+	// with this beam width (predicted-makespan batch scoring) instead of
+	// demand-balance. Zero keeps the scalar heuristic — scoring costs
+	// model evaluations per dispatch round, so it is opt-in.
+	MixScoreBeam int
 }
 
 // Defaults.
@@ -423,41 +431,81 @@ func (r *run) tick(nowMs float64) error {
 // adaptMix is the per-device mix-policy hook: each tick the controller
 // reads every placeable device's offered-mix pressure — the spread
 // between the heaviest and lightest estimated memory demand in its
-// pending queue — and switches the device to demand-balance while the
+// pending queue — and switches the device to demand-balance (or to
+// contention-aware when MixScoreBeam grants a scoring budget) while the
 // spread exceeds the threshold, back to the device's own configured
 // policy (recorded the first time the hook sees it, so per-spec
-// overrides survive) once it subsides. Devices are visited in pool-index
-// order and each switch is logged, so adaptive runs stay byte-identical
-// rerun to rerun.
+// overrides survive) once it subsides. A switched device that starts
+// draining is restored immediately: pressure routing no longer applies to
+// a device receiving no placements, and leaving the adaptive policy in
+// place for the whole drain would silently outlive the signal that chose
+// it. Devices are visited in pool-index order and each switch (and
+// restore) is logged, so adaptive runs stay byte-identical rerun to
+// rerun.
 func (r *run) adaptMix(nowMs float64) error {
 	for i, d := range r.fleet.Devices() {
 		for len(r.mixBase) <= i {
 			r.mixBase = append(r.mixBase, r.fleet.Devices()[len(r.mixBase)].MixPolicy())
 		}
-		if r.fleet.Draining(i) || r.leaveMs[i] >= 0 {
+		if r.leaveMs[i] >= 0 {
+			continue
+		}
+		if r.fleet.Draining(i) {
+			if d.MixPolicy() != r.mixBase[i] {
+				// Restores rebuild the configured policy, so a device
+				// configured contention-aware gets its fleet-configured
+				// beam back, not the adaptive hook's budget.
+				if err := r.switchMix(d, r.mixBase[i], nowMs, 0, r.cfg.Fleet.ScoreBeam); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		spread, err := d.PendingDemandSpread()
 		if err != nil {
 			return err
 		}
-		want := r.mixBase[i]
+		want, beam := r.mixBase[i], r.cfg.Fleet.ScoreBeam
 		if spread > r.cfg.MixSpreadGBps {
 			want = serve.MixDemandBalance
+			// A scoring budget escalates the switch to contention-aware —
+			// as does a device already configured contention-aware, which
+			// pressure must never downgrade to the scalar heuristic.
+			if r.cfg.MixScoreBeam > 0 {
+				want, beam = serve.MixContentionAware, r.cfg.MixScoreBeam
+			} else if r.mixBase[i] == serve.MixContentionAware {
+				want = serve.MixContentionAware
+			}
 		}
 		if d.MixPolicy() == want {
 			continue
 		}
-		m, err := serve.NewMixFormer(want)
+		if err := r.switchMix(d, want, nowMs, spread, beam); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// switchMix swaps one device's mix-forming policy and logs the "mix"
+// scale event (spread is the decision signal; 0 for drain restores; beam
+// sizes a contention-aware former's scoring beam).
+func (r *run) switchMix(d serve.Device, want string, nowMs, spread float64, beam int) error {
+	var m serve.MixFormer
+	if want == serve.MixContentionAware {
+		m = serve.ContentionAwareMix(beam)
+	} else {
+		var err error
+		m, err = serve.NewMixFormer(want)
 		if err != nil {
 			return err
 		}
-		d.SetMix(m)
-		r.events = append(r.events, ScaleEvent{
-			AtMs: nowMs, Action: "mix", Device: d.Name(), Platform: d.Platform().Name,
-			Active: r.active(), BacklogMs: spread, Mix: want,
-		})
 	}
+	d.SetMix(m)
+	r.events = append(r.events, ScaleEvent{
+		AtMs: nowMs, Action: "mix", Device: d.Name(), Platform: d.Platform().Name,
+		Active: r.active(), BacklogMs: spread, Mix: want,
+	})
 	return nil
 }
 

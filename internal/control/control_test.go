@@ -355,3 +355,159 @@ func TestAdaptiveMixSwitches(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptMixRestoresOnDrain is the drain-restore regression test: a
+// device the adaptive hook switched to demand-balance that then starts
+// draining must get its configured policy back immediately — with a
+// logged "mix" event — not keep the adaptive policy for its whole drain.
+// Before the fix, adaptMix skipped draining devices entirely and the
+// switch silently outlived the pressure signal that chose it.
+func TestAdaptMixRestoresOnDrain(t *testing.T) {
+	cfg := Config{
+		Fleet: fleet.Config{
+			Devices:         []fleet.DeviceSpec{{Platform: "Orin", Count: 2}},
+			SolverTimeScale: 50,
+		},
+		AdaptiveMix: true,
+	}.withDefaults()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := newRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First visit records the configured base policies (fifo) with the
+	// queues empty: no switches.
+	if err := r.adaptMix(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.events) != 0 {
+		t.Fatalf("idle tick produced events: %+v", r.events)
+	}
+	// Build a wide demand spread on device 0: VGG19 vs SqueezeNet spans
+	// most of the Orin demand range.
+	d0 := r.fleet.Devices()[0]
+	for i, net := range []string{"VGG19", "SqueezeNet", "VGG19", "SqueezeNet"} {
+		if _, err := d0.Offer(serve.Request{ID: i, Tenant: "t", Network: net}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.adaptMix(25); err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.MixPolicy(); got != serve.MixDemandBalance {
+		t.Fatalf("spread did not switch device 0: mix policy %q", got)
+	}
+	// The device drains; the next tick must restore fifo and log it.
+	if err := r.fleet.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.adaptMix(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.MixPolicy(); got != serve.MixFIFO {
+		t.Errorf("draining device kept adaptive policy %q, want restored %q", got, serve.MixFIFO)
+	}
+	last := r.events[len(r.events)-1]
+	if last.Action != "mix" || last.Mix != serve.MixFIFO || last.AtMs != 50 {
+		t.Errorf("restore not logged: last event %+v", last)
+	}
+	// A stable draining device must not be re-switched every tick.
+	n := len(r.events)
+	if err := r.adaptMix(75); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.events) != n {
+		t.Errorf("draining device produced further mix events: %+v", r.events[n:])
+	}
+}
+
+// TestAdaptiveMixEscalatesToContentionAware: with a scoring budget
+// (MixScoreBeam > 0) the spread-triggered switch must pick the
+// contention-aware policy instead of demand-balance, and restore the base
+// policy once the spread subsides.
+func TestAdaptiveMixEscalatesToContentionAware(t *testing.T) {
+	cfg := Config{
+		Fleet: fleet.Config{
+			Devices:         []fleet.DeviceSpec{{Platform: "Orin", Count: 2}},
+			SolverTimeScale: 50,
+		},
+		AdaptiveMix:  true,
+		MixScoreBeam: 4,
+	}.withDefaults()
+	r, err := newRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.adaptMix(0); err != nil {
+		t.Fatal(err)
+	}
+	d0 := r.fleet.Devices()[0]
+	for i, net := range []string{"VGG19", "SqueezeNet"} {
+		if _, err := d0.Offer(serve.Request{ID: i, Tenant: "t", Network: net}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.adaptMix(25); err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.MixPolicy(); got != serve.MixContentionAware {
+		t.Errorf("scoring budget did not escalate: mix policy %q, want %q", got, serve.MixContentionAware)
+	}
+	last := r.events[len(r.events)-1]
+	if last.Action != "mix" || last.Mix != serve.MixContentionAware {
+		t.Errorf("escalation not logged: last event %+v", last)
+	}
+	// Drain the pressure (dispatch the queue) and confirm the restore.
+	for d0.QueueDepth() > 0 {
+		if err := d0.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.adaptMix(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.MixPolicy(); got != serve.MixFIFO {
+		t.Errorf("subsided spread did not restore fifo: mix policy %q", got)
+	}
+}
+
+// TestAdaptiveMixNeverDowngradesContentionAware: a device configured with
+// the contention-aware policy must not be switched to the scalar
+// demand-balance heuristic by spread pressure, even without an adaptive
+// scoring budget (MixScoreBeam 0).
+func TestAdaptiveMixNeverDowngradesContentionAware(t *testing.T) {
+	cfg := Config{
+		Fleet: fleet.Config{
+			Devices:         []fleet.DeviceSpec{{Platform: "Orin", Count: 2, MixPolicy: serve.MixContentionAware}},
+			ScoreBeam:       16,
+			SolverTimeScale: 50,
+		},
+		AdaptiveMix: true,
+	}.withDefaults()
+	r, err := newRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.adaptMix(0); err != nil {
+		t.Fatal(err)
+	}
+	d0 := r.fleet.Devices()[0]
+	for i, net := range []string{"VGG19", "SqueezeNet"} {
+		if _, err := d0.Offer(serve.Request{ID: i, Tenant: "t", Network: net}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.adaptMix(25); err != nil {
+		t.Fatal(err)
+	}
+	if got := d0.MixPolicy(); got != serve.MixContentionAware {
+		t.Errorf("pressure downgraded a contention-aware device to %q", got)
+	}
+	for _, e := range r.events {
+		if e.Action == "mix" {
+			t.Errorf("unexpected mix event on a contention-aware-configured device: %+v", e)
+		}
+	}
+}

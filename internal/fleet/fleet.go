@@ -14,10 +14,13 @@
 //
 // Placement policies (see Placer): round-robin spreads blindly,
 // least-loaded tracks queue depth and device availability in virtual time,
-// and affinity routes each network to the device whose profile serves it
-// fastest, falling back on load. Compare serves the same trace on a single
-// SoC and on the fleet under every policy, quantifying both the scale-out
-// win and the policy-vs-policy differences.
+// affinity routes each network to the device whose profile serves it
+// fastest (falling back on load), and mix-aware steers each arrival toward
+// the device whose pending queue the request's predicted contention
+// balances best — cross-device mix forming, the fleet-level counterpart of
+// the contention-aware mix policy. Compare serves the same trace on a
+// single SoC and on the fleet under every policy, quantifying both the
+// scale-out win and the policy-vs-policy differences.
 //
 // The pool is elastic: AddDevice grows it mid-run (registering the device
 // with its platform's shared cache), Drain stops placements on a device
@@ -66,6 +69,10 @@ type Config struct {
 	// per spec, and the control plane may override it per device at
 	// runtime through serve.Device.SetMix.
 	MixPolicy string
+	// ScoreBeam bounds the contention-aware mix policy's per-round scoring
+	// beam on every device (0 = serve.DefaultScoreBeam); see
+	// serve.Config.ScoreBeam.
+	ScoreBeam int
 	// MaxBatch, MaxQueue, AdmitSLOFactor, SolverTimeScale, MaxWaitRounds
 	// and MaxGroups are passed through to every device; see serve.Config.
 	MaxBatch        int
@@ -171,6 +178,7 @@ func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 		Objective:       f.cfg.Objective,
 		Policy:          f.cfg.Policy,
 		MixPolicy:       mixPolicy,
+		ScoreBeam:       f.cfg.ScoreBeam,
 		MaxBatch:        f.cfg.MaxBatch,
 		MaxQueue:        f.cfg.MaxQueue,
 		AdmitSLOFactor:  f.cfg.AdmitSLOFactor,
@@ -271,6 +279,8 @@ func (f *Fleet) Pool() string {
 func (f *Fleet) views(req serve.Request) ([]DeviceView, error) {
 	views := make([]DeviceView, 0, len(f.devices))
 	loadAware := f.placer.LoadAware()
+	ma, _ := f.placer.(mixAwareCapable)
+	mixAware := ma != nil && ma.MixAware()
 	for i, d := range f.devices {
 		if !f.placeable(i) {
 			continue
@@ -291,6 +301,13 @@ func (f *Fleet) views(req serve.Request) ([]DeviceView, error) {
 			v.FreeAtMs = d.ClockMs()
 			v.BacklogMs = backlog
 			v.StandaloneMs = standalone
+			if mixAware {
+				// A scoring failure (unknown network) leaves the fit 0; the
+				// placer falls back to the standalone signal.
+				if fit, err := d.MixFitMs(req.Network); err == nil {
+					v.MixFitMs = fit
+				}
+			}
 		}
 		views = append(views, v)
 	}
@@ -427,7 +444,7 @@ type Comparison struct {
 // differences on identical traffic.
 func Compare(cfg Config, tr serve.Trace, placements ...Placer) (*Comparison, error) {
 	if len(placements) == 0 {
-		placements = []Placer{RoundRobin(), LeastLoaded(), Affinity()}
+		placements = []Placer{RoundRobin(), LeastLoaded(), Affinity(), MixAware()}
 	}
 	if len(cfg.Devices) == 0 {
 		return nil, fmt.Errorf("fleet: no device specs")
@@ -441,6 +458,7 @@ func Compare(cfg Config, tr serve.Trace, placements ...Placer) (*Comparison, err
 		Objective:       cfg.Objective,
 		Policy:          cfg.Policy,
 		MixPolicy:       cfg.MixPolicy,
+		ScoreBeam:       cfg.ScoreBeam,
 		MaxBatch:        cfg.MaxBatch,
 		MaxQueue:        cfg.MaxQueue,
 		AdmitSLOFactor:  cfg.AdmitSLOFactor,

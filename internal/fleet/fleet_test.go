@@ -83,8 +83,8 @@ func TestFleetBeatsSingleSoC(t *testing.T) {
 	if cmp.SinglePlatform != "Orin" {
 		t.Fatalf("single-SoC baseline on %s, want Orin", cmp.SinglePlatform)
 	}
-	if len(cmp.Fleets) != 3 {
-		t.Fatalf("%d fleet summaries, want 3", len(cmp.Fleets))
+	if len(cmp.Fleets) != 4 {
+		t.Fatalf("%d fleet summaries, want 4 (round-robin, least-loaded, affinity, mix-aware)", len(cmp.Fleets))
 	}
 	won := false
 	for _, fs := range cmp.Fleets {
@@ -291,7 +291,7 @@ func TestPlacementTieBreakPinned(t *testing.T) {
 		return views
 	}
 	req := serve.Request{Tenant: "alice", Network: "VGG19", ArrivalMs: 0}
-	for _, name := range []string{"least-loaded", "affinity"} {
+	for _, name := range []string{"least-loaded", "affinity", "mix-aware"} {
 		pl, err := NewPlacer(name)
 		if err != nil {
 			t.Fatal(err)
@@ -325,7 +325,7 @@ func TestPlacementTieBreakPinned(t *testing.T) {
 // identical devices — the equal-load case where tie-breaks decide every
 // placement — and requires byte-identical summaries.
 func TestEqualLoadPoolDeterminism(t *testing.T) {
-	for _, name := range []string{"least-loaded", "affinity"} {
+	for _, name := range []string{"least-loaded", "affinity", "mix-aware"} {
 		run := func() *Summary {
 			pl, _ := NewPlacer(name)
 			f, err := New(Config{
@@ -345,6 +345,66 @@ func TestEqualLoadPoolDeterminism(t *testing.T) {
 		if !bytes.Equal(mustJSON(t, run()), mustJSON(t, run())) {
 			t.Errorf("%s: equal-load pool runs diverged", name)
 		}
+	}
+}
+
+// TestMixAwarePlacement pins the cross-device mix-forming signal: the
+// placer must weigh the predicted co-run cost (DeviceView.MixFitMs) on
+// top of the start estimate — steering an arrival toward the device whose
+// pending queue it contends least with, even when that device carries the
+// deeper backlog — and fall back to the affinity signal when the fit is
+// unknown. An end-to-end serve checks the fleet actually feeds the signal
+// (an idle device's fit is the standalone estimate).
+func TestMixAwarePlacement(t *testing.T) {
+	pl, err := NewPlacer("mix-aware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := serve.Request{Tenant: "alice", Network: "SqueezeNet", ArrivalMs: 0}
+	views := []DeviceView{
+		// Lighter backlog, but the model predicts a bad co-run.
+		{Index: 0, Name: "Orin/0", Platform: "Orin", BacklogMs: 1, StandaloneMs: 2, MixFitMs: 8},
+		// Deeper backlog, predicted to pair well.
+		{Index: 1, Name: "Orin/1", Platform: "Orin", BacklogMs: 2, StandaloneMs: 2, MixFitMs: 1},
+	}
+	if got := pl.Place(req, views); got != 1 {
+		t.Errorf("mix-aware placed on %d, want 1 (best predicted co-run beats lighter backlog)", got)
+	}
+	if ll := LeastLoaded().Place(req, views); ll != 0 {
+		t.Fatalf("fixture broken: least-loaded should prefer device 0, got %d", ll)
+	}
+	// Unknown fits fall back to the standalone (affinity) signal.
+	views[0].MixFitMs, views[1].MixFitMs = 0, 0
+	if got := pl.Place(req, views); got != 0 {
+		t.Errorf("zero fits did not fall back to the affinity signal: placed on %d", got)
+	}
+
+	f, err := New(Config{
+		Devices:         []DeviceSpec{{Platform: "Orin", Count: 2}},
+		Placement:       MixAware(),
+		SolverTimeScale: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := f.Serve(defaultTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Placement != "mix-aware" {
+		t.Errorf("summary placement %q", sum.Placement)
+	}
+	if sum.Total.Offered != len(defaultTrace(t)) {
+		t.Errorf("offered %d != trace %d", sum.Total.Offered, len(defaultTrace(t)))
+	}
+	used := 0
+	for _, ds := range sum.Devices {
+		if ds.Placed > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("mix-aware used %d of 2 devices on two-tenant traffic", used)
 	}
 }
 

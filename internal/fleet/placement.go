@@ -35,6 +35,12 @@ type DeviceView struct {
 	// StandaloneMs is the arriving network's contention-free service
 	// estimate on this device (0 when the network is unknown).
 	StandaloneMs float64
+	// MixFitMs is the arriving network's predicted co-run cost against the
+	// device's pending queue (serve.Device.MixFitMs): the best
+	// model-predicted pair makespan, or the standalone estimate on an idle
+	// device. Populated only for mix-aware placers — it costs contention-
+	// model evaluations per arrival; 0 when the network is unknown.
+	MixFitMs float64
 }
 
 // StartMs is when a request placed now could start on the device.
@@ -120,8 +126,47 @@ func (affinity) Place(req serve.Request, devices []DeviceView) int {
 	})
 }
 
+// mixAwareCapable is the capability a placer declares to receive
+// DeviceView.MixFitMs — the per-arrival contention-model prediction is
+// too expensive to compute for policies that ignore it.
+type mixAwareCapable interface {
+	// MixAware reports whether Place reads DeviceView.MixFitMs.
+	MixAware() bool
+}
+
+// mixAware extends mix-awareness above the device boundary: where the
+// per-device contention-aware mix policy picks the best batch from what
+// already landed on the device, this placer steers each arrival toward
+// the placeable device whose pending queue the request's predicted
+// contention balances best — earliest start plus the model-predicted
+// co-run cost against that device's pending networks. The ROADMAP's
+// "Cross-device mix forming" follow-on: the fleet shapes the offered
+// mixes before any device forms a batch.
+type mixAware struct{}
+
+// MixAware returns the cross-device mix-forming placement policy.
+func MixAware() Placer { return mixAware{} }
+
+func (mixAware) Name() string    { return "mix-aware" }
+func (mixAware) Reset()          {}
+func (mixAware) LoadAware() bool { return true }
+func (mixAware) MixAware() bool  { return true }
+func (mixAware) Place(req serve.Request, devices []DeviceView) int {
+	return minByScore(devices, func(v DeviceView) float64 {
+		fit := v.MixFitMs
+		if fit <= 0 {
+			// Unknown network (or a scoring failure): fall back to the
+			// affinity signal so placement still spreads sensibly.
+			fit = v.StandaloneMs
+		}
+		return v.StartMs(req.ArrivalMs) + fit
+	})
+}
+
 // Placements lists the built-in policy names.
-func Placements() []string { return []string{"round-robin", "least-loaded", "affinity"} }
+func Placements() []string {
+	return []string{"round-robin", "least-loaded", "affinity", "mix-aware"}
+}
 
 // NewPlacer returns the named built-in policy.
 func NewPlacer(name string) (Placer, error) {
@@ -132,6 +177,8 @@ func NewPlacer(name string) (Placer, error) {
 		return LeastLoaded(), nil
 	case "affinity":
 		return Affinity(), nil
+	case "mix-aware":
+		return MixAware(), nil
 	}
 	return nil, fmt.Errorf("fleet: unknown placement %q (want %s)", name, strings.Join(Placements(), ", "))
 }

@@ -188,6 +188,26 @@ func ServingComparisonCSV(w io.Writer, cmp *serve.Comparison) error {
 	return c.flush()
 }
 
+// MixComparisonCSV writes the mix-forming comparison: one row per mix
+// policy with the total-traffic headline metrics and the improvement over
+// the baseline policy (the first row — fifo in the default comparison).
+func MixComparisonCSV(w io.Writer, cmp *serve.MixComparison) error {
+	c := newCSV(w)
+	if err := c.row("mix_policy", "completed", "p50_ms", "p95_ms", "p99_ms",
+		"violations", "throughput_rps", "p99_impr_pct", "throughput_impr_pct"); err != nil {
+		return err
+	}
+	for i, sum := range cmp.Results {
+		ts := sum.Total
+		if err := c.row(cmp.Policies[i], ts.Completed, ts.P50Ms, ts.P95Ms, ts.P99Ms,
+			ts.Violations, ts.ThroughputRPS,
+			cmp.P99ImprovementPct(i), cmp.ThroughputImprovementPct(i)); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
 // FleetCSV writes a fleet serving summary: one row per device plus a
 // fleet-wide TOTAL row, with placement share, latency percentiles, SLO
 // accounting, throughput and per-device cache effectiveness.

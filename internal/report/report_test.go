@@ -171,6 +171,37 @@ func TestServingComparisonCSV(t *testing.T) {
 	}
 }
 
+func TestMixComparisonCSV(t *testing.T) {
+	fifo := sampleServing(serve.ContentionAware)
+	db := sampleServing(serve.ContentionAware)
+	db.MixPolicy = serve.MixDemandBalance
+	ca := sampleServing(serve.ContentionAware)
+	ca.MixPolicy = serve.MixContentionAware
+	cmp := &serve.MixComparison{
+		Policies: []string{serve.MixFIFO, serve.MixDemandBalance, serve.MixContentionAware},
+		Results:  []*serve.Summary{fifo, db, ca},
+	}
+	var buf bytes.Buffer
+	if err := MixComparisonCSV(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("%d records, want header + 3 policy rows", len(recs))
+	}
+	if recs[0][0] != "mix_policy" || recs[0][7] != "p99_impr_pct" {
+		t.Errorf("header: %v", recs[0])
+	}
+	for i, want := range cmp.Policies {
+		if recs[i+1][0] != want {
+			t.Errorf("row %d policy %q, want %q", i+1, recs[i+1][0], want)
+		}
+	}
+}
+
 func sampleFleet(t *testing.T) (*fleet.Summary, *fleet.Comparison) {
 	t.Helper()
 	tr, err := serve.Generate([]serve.TenantSpec{

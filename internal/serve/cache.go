@@ -65,9 +65,20 @@ func (c CacheConfig) nodesPerMs() float64 {
 // Cache maps workload mixes to solved schedules and counts its own
 // effectiveness: Hits and Misses count Lookup outcomes, Upgrades counts
 // deployments that advanced to a newer solver incumbent.
+//
+// Besides the dispatched entries, the cache keeps scoring probes: mixes
+// characterized — and, in a solving cache, speculatively solved — for
+// contention-predicted mix forming (Probe) but never dispatched. Probes
+// are never counted and never persisted; when a probed mix is finally
+// dispatched, Lookup promotes the probe — characterization and solve
+// progress included — so scoring work is never repeated. A mix whose
+// characterization fails is negative-cached: the failure is returned on
+// every re-probe without repeating the prepare.
 type Cache struct {
-	cfg     CacheConfig
-	entries map[string]*Entry
+	cfg      CacheConfig
+	entries  map[string]*Entry
+	probes   map[string]*Entry
+	probeErr map[string]error
 
 	Hits     int
 	Misses   int
@@ -116,7 +127,12 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("serve: cache needs a platform")
 	}
-	return &Cache{cfg: cfg, entries: map[string]*Entry{}}, nil
+	return &Cache{
+		cfg:      cfg,
+		entries:  map[string]*Entry{},
+		probes:   map[string]*Entry{},
+		probeErr: map[string]error{},
+	}, nil
 }
 
 // Len returns the number of cached mixes.
@@ -134,6 +150,14 @@ func (c *Cache) Platform() *soc.Platform { return c.cfg.Platform }
 // run.
 func (c *Cache) Rewind() {
 	for _, e := range c.entries {
+		e.CreatedMs = 0
+		e.settled = true
+		e.lastSched = nil
+	}
+	// Probes settle too: their speculative solves finished with the old
+	// timeline, so scoring (and promotion) in the new run deploys their
+	// best incumbent rather than replaying against a dead clock.
+	for _, e := range c.probes {
 		e.CreatedMs = 0
 		e.settled = true
 		e.lastSched = nil
@@ -161,17 +185,73 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 		return e, true, nil
 	}
 	c.Misses++
-	e, err := c.build(key, canon, nowMs)
-	if err != nil {
-		return nil, false, err
+	// A scoring probe already characterized (and solved) this mix: promote
+	// it instead of re-preparing. The probe keeps its CreatedMs — its
+	// background solve genuinely started when the mix-forming scorer first
+	// considered the mix — so a mix probed early deploys further down its
+	// incumbent stream the moment it is finally dispatched. Speculative
+	// solving is exactly what turns scoring cost into serving value.
+	e, ok := c.probes[key]
+	if ok {
+		delete(c.probes, key)
+	} else {
+		var err error
+		e, err = c.build(key, canon, nowMs)
+		if err != nil {
+			return nil, false, err
+		}
 	}
-	if c.cfg.Solve {
+	if c.cfg.Solve && e.Any == nil {
+		var err error
 		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
 		if err != nil {
 			return nil, false, err
 		}
 	}
 	c.entries[key] = e
+	return e, false, nil
+}
+
+// Probe returns the entry for a workload mix so the analytic contention
+// model can score a candidate batch before anything is dispatched. The
+// boolean reports whether the mix was already dispatched (a live entry).
+// An unseen mix is characterized — and, in a solving cache, solved, with
+// its incumbent replay anchored at nowMs — once and memoized as a probe,
+// so repeated scoring of the same candidate costs a map lookup, and the
+// eventual dispatch of a probed mix promotes the probe (solve progress
+// included) instead of repeating the work: scoring doubles as speculative
+// solving of the candidate mixes the policy is weighing. Failures are
+// memoized like successes — Probe sits on the per-round scoring and
+// per-arrival placement paths, which must never repeat a failing
+// characterization. Probes never count as hits or misses and are
+// excluded from Export.
+func (c *Cache) Probe(networks []string, nowMs float64) (*Entry, bool, error) {
+	if len(networks) == 0 {
+		return nil, false, fmt.Errorf("serve: empty workload mix")
+	}
+	key, canon := c.mixKey(networks)
+	if e, ok := c.entries[key]; ok {
+		return e, true, nil
+	}
+	if e, ok := c.probes[key]; ok {
+		return e, false, nil
+	}
+	if err, ok := c.probeErr[key]; ok {
+		return nil, false, err
+	}
+	e, err := c.build(key, canon, nowMs)
+	if err != nil {
+		c.probeErr[key] = err
+		return nil, false, err
+	}
+	if c.cfg.Solve {
+		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
+		if err != nil {
+			c.probeErr[key] = err
+			return nil, false, err
+		}
+	}
+	c.probes[key] = e
 	return e, false, nil
 }
 
@@ -217,6 +297,20 @@ func (c *Cache) build(key string, canon []string, nowMs float64) (*Entry, error)
 // Advancing to a newer incumbent than any previous Use counts as a cache
 // upgrade.
 func (e *Entry) Use(nowMs float64) *schedule.Schedule {
+	s := e.Deployable(nowMs)
+	if e.lastSched != nil && s != e.lastSched {
+		e.cache.Upgrades++
+	}
+	e.lastSched = s
+	return s
+}
+
+// Deployable returns the schedule Use would deploy at virtual time nowMs
+// without recording the deployment — no upgrade accounting, no state
+// change. The mix-forming scorer peeks through it: scoring a candidate
+// batch must predict exactly what dispatching it would run, yet leave the
+// entry untouched in case the batch loses.
+func (e *Entry) Deployable(nowMs float64) *schedule.Schedule {
 	if e.Any == nil || len(e.Any.History) == 0 {
 		if e.Seeded != nil {
 			return e.Seeded
@@ -232,12 +326,7 @@ func (e *Entry) Use(nowMs float64) *schedule.Schedule {
 			nodes = int(f)
 		}
 	}
-	s := e.Any.ScheduleAtNodes(nodes)
-	if e.lastSched != nil && s != e.lastSched {
-		e.cache.Upgrades++
-	}
-	e.lastSched = s
-	return s
+	return e.Any.ScheduleAtNodes(nodes)
 }
 
 // Best returns the entry's final (best-known) schedule.

@@ -111,6 +111,47 @@ func TestMixPoliciesDeterministic(t *testing.T) {
 	}
 }
 
+// TestContentionAwareWarmReserve: the scoring probes must survive the
+// timeline rewind like cache entries do — settled, deploying their best
+// incumbent — so warm contention-aware re-serves are byte-identical to
+// each other and never miss (the converged policy only dispatches mixes
+// the first run already solved).
+func TestContentionAwareWarmReserve(t *testing.T) {
+	tr, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Platform: soc.Orin(), SolverTimeScale: 50, MixPolicy: MixContentionAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveJSON := func() []byte {
+		t.Helper()
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serveJSON() // cold
+	warm1 := serveJSON()
+	warm2 := serveJSON()
+	if !bytes.Equal(warm1, warm2) {
+		t.Errorf("warm contention-aware re-serves diverged:\n%s\nvs\n%s", warm1, warm2)
+	}
+	var warmSum Summary
+	if err := json.Unmarshal(warm1, &warmSum); err != nil {
+		t.Fatal(err)
+	}
+	if warmSum.CacheMisses != 0 {
+		t.Errorf("warm contention-aware run missed %d times", warmSum.CacheMisses)
+	}
+}
+
 // TestWarmReserveDeterministic: re-serving on one runtime rewinds the
 // timeline but keeps the cache warm — warm entries deploy their best
 // incumbent from round one (no replay against a dead clock), so warm runs

@@ -52,6 +52,11 @@ type Device interface {
 	// demand across the pending queue's networks — the offered-mix
 	// pressure signal a controller chooses mix policies by.
 	PendingDemandSpread() (float64, error)
+	// MixFitMs predicts how well a network would co-run with the device's
+	// pending work: the best model-predicted pair makespan against any
+	// pending network (standalone estimate when idle) — the mix-aware
+	// placement signal.
+	MixFitMs(network string) (float64, error)
 
 	// Completions returns every outcome recorded so far.
 	Completions() []Completion

@@ -16,6 +16,15 @@
 //   - slo-aware: deadline-urgency order — the requests with the least
 //     slack (arrival + SLO - round start) dispatch first, possibly as a
 //     non-contiguous subset of the queue.
+//   - contention-aware: generates a bounded beam of candidate batches
+//     (the fifo prefix, the demand-balance pairing, the slo-aware
+//     ordering, and lexicographic subsets of the eligible queue) and
+//     scores each with the analytic contention model — the predicted
+//     makespan and per-request completion times of the schedule the
+//     runtime would actually deploy for that mix — dispatching the batch
+//     with the fewest predicted SLO violations, then the lowest predicted
+//     makespan. Where demand-balance ranks by a scalar demand estimate,
+//     contention-aware asks the model which co-run is genuinely fastest.
 //
 // Every policy is deterministic: ties break toward the older request
 // (lower queue position), never toward map or slice iteration order. The
@@ -39,7 +48,16 @@ const (
 	MixDemandBalance = "demand-balance"
 	// MixSLOAware dispatches by deadline urgency (least slack first).
 	MixSLOAware = "slo-aware"
+	// MixContentionAware scores a beam of candidate batches with the
+	// analytic contention model and dispatches the best-predicted one.
+	MixContentionAware = "contention-aware"
 )
+
+// DefaultScoreBeam bounds how many candidate batches the contention-aware
+// policy scores per dispatch round. Each first-sighting of a mix costs a
+// characterization (amortized by the cache's scoring probes); raising the
+// beam widens the explored pairing space at higher dispatch cost.
+const DefaultScoreBeam = 8
 
 // Candidate is one eligible pending request as a mix-former sees it: the
 // request itself plus the signals policies rank by.
@@ -65,6 +83,25 @@ func (c Candidate) SlackMs(startMs float64) float64 {
 	return c.ArrivalMs + c.SLOMs - startMs
 }
 
+// BatchScore is the analytic contention model's prediction for one
+// candidate batch: what dispatching it as the next round would cost.
+type BatchScore struct {
+	// MakespanMs is the predicted round duration.
+	MakespanMs float64
+	// EndMs[i] is the predicted completion offset (from the round start)
+	// of the i-th candidate of the scored selection in ascending queue
+	// order — the per-request signal deadline-sensitive scoring needs.
+	EndMs []float64
+}
+
+// BatchScorer predicts the outcome of dispatching a candidate subset of
+// the eligible queue as one round, using the mix-keyed schedule cache:
+// warm mixes are scored on the schedule the runtime would actually deploy
+// right now, unseen mixes on their naive schedule via a memoized scoring
+// probe. The boolean is false when the mix cannot be scored (its
+// characterization failed); policies must fall back gracefully.
+type BatchScorer func(sel []int) (BatchScore, bool)
+
 // FormInput is one dispatch round's context.
 type FormInput struct {
 	// StartMs is the round's start on the virtual timeline.
@@ -74,6 +111,10 @@ type FormInput struct {
 	// Eligible holds the pending requests that have arrived by StartMs,
 	// oldest first (queue order).
 	Eligible []Candidate
+	// Score predicts a candidate batch's contention outcome. The runtime
+	// wires it only for policies that declare ScoreAware — every other
+	// policy sees nil and must not depend on it.
+	Score BatchScorer
 }
 
 // MixFormer selects which eligible requests form a dispatch round.
@@ -187,6 +228,164 @@ func (sloAware) Form(in FormInput) []int {
 	return order[:n]
 }
 
+// scoreAware is the capability a mix policy declares to receive a
+// FormInput.Score callback; demand-blind, score-blind policies keep the
+// hot path free of model work.
+type scoreAware interface {
+	// ScoreAware reports whether Form reads FormInput.Score.
+	ScoreAware() bool
+}
+
+// contentionAware scores candidate batches with the analytic contention
+// model instead of ranking requests by a scalar signal. Candidates are a
+// bounded beam: the three heuristic policies' selections seed it (fifo
+// prefix, demand-balance pairing, slo-aware ordering) and lexicographic
+// subsets of the eligible queue fill it, so on narrow queues the beam
+// covers every possible mix. The batch with the fewest predicted SLO
+// violations — then the lowest predicted makespan, then the earliest seed
+// — dispatches. With no scorer (or nothing scoreable) the policy degrades
+// to demand-balance, the best heuristic.
+type contentionAware struct {
+	beam int
+}
+
+// ContentionAwareMix returns the contention-predicted mix-forming policy
+// scoring at most beam candidate batches per round (0 = DefaultScoreBeam).
+func ContentionAwareMix(beam int) MixFormer {
+	if beam <= 0 {
+		beam = DefaultScoreBeam
+	}
+	return contentionAware{beam: beam}
+}
+
+func (contentionAware) Name() string      { return MixContentionAware }
+func (contentionAware) DemandAware() bool { return true }
+func (contentionAware) ScoreAware() bool  { return true }
+
+func (p contentionAware) Form(in FormInput) []int {
+	n := batchSize(in)
+	if n == 0 {
+		return nil
+	}
+	fallback := DemandBalance().Form(in)
+	if in.Score == nil {
+		return fallback
+	}
+	// One-step lookahead: when the requests a batch defers all fit in the
+	// next round, a batch's true cost includes what it leaves behind — the
+	// leftover dispatches at this round's end, so a tiny batch that
+	// strands a catastrophic pairing loses to a balanced partition. Only
+	// exact (single-round) leftovers are scored; deeper queues fall back
+	// to in-batch scoring, keeping the per-round cost at two model
+	// evaluations per candidate.
+	lookahead := len(in.Eligible) > n && len(in.Eligible) <= 2*n
+	candidates := p.candidates(in, n, fallback)
+	best, bestViol, bestMs := -1, 0, 0.0
+	for ci, sel := range candidates {
+		score, ok := in.Score(sel)
+		if !ok {
+			continue
+		}
+		viol := predictedViolations(in, sel, score, 0)
+		span := score.MakespanMs
+		if lookahead {
+			rest := complement(sel, len(in.Eligible))
+			if rscore, ok := in.Score(rest); ok {
+				viol += predictedViolations(in, rest, rscore, score.MakespanMs)
+				span += rscore.MakespanMs
+			}
+		}
+		if best < 0 || viol < bestViol || (viol == bestViol && span < bestMs) {
+			best, bestViol, bestMs = ci, viol, span
+		}
+	}
+	if best < 0 {
+		return fallback
+	}
+	return candidates[best]
+}
+
+// complement returns the ascending indices of [0, m) not in sel (sel is
+// ascending).
+func complement(sel []int, m int) []int {
+	rest := make([]int, 0, m-len(sel))
+	si := 0
+	for i := 0; i < m; i++ {
+		if si < len(sel) && sel[si] == i {
+			si++
+			continue
+		}
+		rest = append(rest, i)
+	}
+	return rest
+}
+
+// candidates builds the beam: heuristic seeds first (deduplicated on the
+// selected set), then lexicographic n-subsets of the eligible indices
+// until the beam is full. Every candidate is in ascending queue order.
+func (p contentionAware) candidates(in FormInput, n int, fallback []int) [][]int {
+	var beam [][]int
+	seen := map[string]bool{}
+	add := func(sel []int) {
+		if len(sel) != n || len(beam) >= p.beam {
+			return
+		}
+		canon := append([]int(nil), sel...)
+		sort.Ints(canon)
+		key := fmt.Sprint(canon)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		beam = append(beam, canon)
+	}
+	add(FIFO().Form(in))
+	add(fallback)
+	add(SLOAware().Form(in))
+	// Lexicographic n-subsets of [0, len(eligible)): the oldest requests
+	// lead, so widening the beam explores pairings without abandoning the
+	// queue head.
+	comb := make([]int, n)
+	for i := range comb {
+		comb[i] = i
+	}
+	for len(beam) < p.beam {
+		add(comb)
+		// Advance to the next combination; stop when exhausted.
+		i := n - 1
+		for i >= 0 && comb[i] == len(in.Eligible)-n+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		comb[i]++
+		for j := i + 1; j < n; j++ {
+			comb[j] = comb[j-1] + 1
+		}
+	}
+	return beam
+}
+
+// predictedViolations counts the candidates of sel whose predicted
+// completion would miss their SLO — the primary batch-scoring key, since
+// violations (not raw makespan) are what serving quality is judged on.
+// delayMs shifts the round start (lookahead scores the deferred batch at
+// the first batch's predicted end).
+func predictedViolations(in FormInput, sel []int, score BatchScore, delayMs float64) int {
+	v := 0
+	for i, idx := range sel {
+		if i >= len(score.EndMs) {
+			break
+		}
+		c := in.Eligible[idx]
+		if c.SLOMs > 0 && in.StartMs+delayMs+score.EndMs[i]-c.ArrivalMs > c.SLOMs {
+			v++
+		}
+	}
+	return v
+}
+
 // batchSize clamps the round width to the eligible count.
 func batchSize(in FormInput) int {
 	n := in.MaxBatch
@@ -217,7 +416,9 @@ func MixedDemandTenants() []TenantSpec {
 }
 
 // MixPolicies lists the built-in mix-forming policy names.
-func MixPolicies() []string { return []string{MixFIFO, MixDemandBalance, MixSLOAware} }
+func MixPolicies() []string {
+	return []string{MixFIFO, MixDemandBalance, MixSLOAware, MixContentionAware}
+}
 
 // MixPolicyName canonicalizes a policy name ("" means the FIFO default).
 func MixPolicyName(name string) string {
@@ -236,6 +437,8 @@ func NewMixFormer(name string) (MixFormer, error) {
 		return DemandBalance(), nil
 	case MixSLOAware:
 		return SLOAware(), nil
+	case MixContentionAware:
+		return ContentionAwareMix(0), nil
 	}
 	return nil, fmt.Errorf("serve: unknown mix policy %q (want %s)", name, strings.Join(MixPolicies(), ", "))
 }

@@ -278,6 +278,150 @@ func TestDemandBalanceBeatsFIFO(t *testing.T) {
 		db.P99Ms, db.Violations, db.ThroughputRPS, cmp.P99ImprovementPct(1))
 }
 
+// TestContentionAwareBeatsDemandBalance is the tentpole's acceptance
+// check: on the canonical mixed-demand quartet, contention-predicted mix
+// forming must beat the scalar demand-balance heuristic on SLO violations
+// or p99 — the analytic model sees through the cold-start rounds the
+// heuristic pairs blindly — while staying no worse on the other metric,
+// throughput and completion count. This is the cmd/serve -mode compare
+// contention-aware leg as a regression test.
+func TestContentionAwareBeatsDemandBalance(t *testing.T) {
+	tr, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareMixes(Config{Platform: soc.Orin(), SolverTimeScale: 50}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{MixFIFO, MixDemandBalance, MixContentionAware}
+	if !reflect.DeepEqual(cmp.Policies, want) {
+		t.Fatalf("default comparison policies = %v, want %v", cmp.Policies, want)
+	}
+	db, ca := cmp.Results[1].Total, cmp.Results[2].Total
+	if ca.P99Ms > db.P99Ms {
+		t.Errorf("contention-aware p99 %.3f ms worse than demand-balance %.3f ms", ca.P99Ms, db.P99Ms)
+	}
+	if ca.Violations > db.Violations {
+		t.Errorf("contention-aware violations %d worse than demand-balance %d", ca.Violations, db.Violations)
+	}
+	if ca.P99Ms >= db.P99Ms && ca.Violations >= db.Violations {
+		t.Errorf("contention-aware (p99 %.3f, viol %d) strictly beats demand-balance (p99 %.3f, viol %d) on neither metric",
+			ca.P99Ms, ca.Violations, db.P99Ms, db.Violations)
+	}
+	if ca.ThroughputRPS < db.ThroughputRPS {
+		t.Errorf("contention-aware throughput %.1f rps lost to demand-balance %.1f rps", ca.ThroughputRPS, db.ThroughputRPS)
+	}
+	if ca.Completed != db.Completed {
+		t.Errorf("policies served different request counts: %d vs %d", ca.Completed, db.Completed)
+	}
+	t.Logf("demand-balance p99=%.3f viol=%d | contention-aware p99=%.3f viol=%d",
+		db.P99Ms, db.Violations, ca.P99Ms, ca.Violations)
+}
+
+// TestContentionAwareColdFallback: without a scorer (FormInput.Score nil
+// — the runtime only wires one for score-aware policies) and when every
+// scoring attempt fails, the policy must degrade to the demand-balance
+// selection instead of stalling or panicking. This pins the graceful
+// cold-path contract.
+func TestContentionAwareColdFallback(t *testing.T) {
+	eligible := []Candidate{
+		cand(0, "SqueezeNet", 0, 7, 91),
+		cand(1, "Inception", 1, 7, 82),
+		cand(2, "ResNet152", 2, 7, 76),
+		cand(3, "ResNet18", 3, 7, 71),
+	}
+	m := ContentionAwareMix(0)
+	wantDB := DemandBalance().Form(FormInput{MaxBatch: 2, Eligible: eligible})
+	if sel := m.Form(FormInput{MaxBatch: 2, Eligible: eligible}); !reflect.DeepEqual(sel, wantDB) {
+		t.Errorf("nil scorer: selected %v, want demand-balance %v", sel, wantDB)
+	}
+	failing := func([]int) (BatchScore, bool) { return BatchScore{}, false }
+	if sel := m.Form(FormInput{MaxBatch: 2, Eligible: eligible, Score: failing}); !reflect.DeepEqual(sel, wantDB) {
+		t.Errorf("failing scorer: selected %v, want demand-balance %v", sel, wantDB)
+	}
+	if sel := m.Form(FormInput{MaxBatch: 2, Score: failing}); len(sel) != 0 {
+		t.Errorf("empty queue selected %v", sel)
+	}
+}
+
+// TestContentionAwareMaxWait: the runtime's starvation bound must hold
+// around contention-aware forming. A slow network parked at the queue
+// head keeps losing the predicted-makespan comparison to a stream of fast
+// ones; the max-wait bound must force it in anyway.
+func TestContentionAwareMaxWait(t *testing.T) {
+	const maxWait = 3
+	var tr Trace
+	tr = append(tr, Request{ID: 0, Tenant: "slow", Network: "ResNet152", ArrivalMs: 0})
+	for i := 1; i <= 10; i++ {
+		tr = append(tr, Request{ID: i, Tenant: "fast", Network: "SqueezeNet", ArrivalMs: 0})
+	}
+	rt, err := New(Config{
+		Platform:      soc.Orin(),
+		Policy:        NaiveGPUOnly,
+		MaxBatch:      1,
+		MaxWaitRounds: maxWait,
+		MixPolicy:     MixContentionAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total.Completed != len(tr) {
+		t.Fatalf("completed %d of %d", sum.Total.Completed, len(tr))
+	}
+	for pos, c := range rt.Completions() {
+		if c.ID == 0 {
+			if pos > maxWait {
+				t.Errorf("slow request dispatched in round %d, want forced by round %d", pos+1, maxWait+1)
+			}
+			return
+		}
+	}
+	t.Fatal("slow request never dispatched")
+}
+
+// TestPrepareFailureNegativeCache is the hot-path regression test for the
+// estimator memoization: a network whose core.Prepare fails must be
+// negative-cached — re-probing it through DemandGBps, StandaloneMs or
+// PendingDemandSpread must never repeat the failing characterization.
+// Before the fix, every call re-prepared and the dispatch loop paid the
+// failure once per round.
+func TestPrepareFailureNegativeCache(t *testing.T) {
+	rt, err := New(Config{Platform: soc.Orin(), Policy: NaiveGPUOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.DemandGBps("NoSuchNet"); err == nil {
+		t.Fatal("unknown network characterized without error")
+	}
+	if _, err := rt.DemandGBps("NoSuchNet"); err == nil {
+		t.Fatal("memoized failure lost its error")
+	}
+	if _, err := rt.StandaloneMs("NoSuchNet"); err == nil {
+		t.Fatal("StandaloneMs ignored the memoized failure")
+	}
+	if got := rt.PrepareCalls(); got != 1 {
+		t.Errorf("failing network prepared %d times, want 1 (negative cache)", got)
+	}
+	// The success path shares one characterization across both estimators.
+	if _, err := rt.DemandGBps("SqueezeNet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.StandaloneMs("SqueezeNet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.DemandGBps("SqueezeNet"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.PrepareCalls(); got != 2 {
+		t.Errorf("%d prepares after one failing and one good network, want 2", got)
+	}
+}
+
 // TestFIFOMatchesLegacyDispatch: the fifo mix policy is the compatibility
 // default — an unset MixPolicy and an explicit "fifo" must produce
 // byte-identical summaries (the pre-mix-former dispatcher's behavior).

@@ -12,7 +12,9 @@
 // default "fifo" policy takes the oldest requests (up to MaxBatch);
 // "demand-balance" pairs memory-light with memory-heavy networks using
 // the profiler's demand estimates; "slo-aware" dispatches by deadline
-// urgency. Repeated mixes reuse solved schedules; unseen mixes are
+// urgency; "contention-aware" scores a bounded beam of candidate batches
+// with the analytic contention model and dispatches the best-predicted
+// one. Repeated mixes reuse solved schedules; unseen mixes are
 // served immediately on the best naive schedule while the anytime solver's
 // incumbent stream upgrades the cache entry in the (virtual) background,
 // exactly the D-HaX-CoNN operating regime of Sec. 3.5 applied to
@@ -105,10 +107,16 @@ type Config struct {
 	// MixPolicy names the mix-forming policy that selects which pending
 	// requests form each dispatch round: "fifo" (the default — the oldest
 	// eligible requests, the dispatcher's historical behavior),
-	// "demand-balance" or "slo-aware". See MixPolicies.
+	// "demand-balance", "slo-aware" or "contention-aware". See
+	// MixPolicies.
 	MixPolicy string
 	// Mix, when set, overrides MixPolicy with a custom policy instance.
 	Mix MixFormer
+	// ScoreBeam bounds how many candidate batches the contention-aware
+	// mix policy scores per dispatch round (0 = DefaultScoreBeam). A wider
+	// beam explores more pairings per round at higher dispatch cost;
+	// ignored by every other policy.
+	ScoreBeam int
 	// MaxWaitRounds bounds starvation under non-FIFO mix policies: when
 	// the oldest eligible request has been passed over for this many
 	// consecutive rounds it is forced into the next batch ahead of the
@@ -149,6 +157,8 @@ type Runtime struct {
 	former     MixFormer
 	standalone map[string]float64 // per-network standalone service estimate
 	demand     map[string]float64 // per-network standalone memory-demand estimate
+	prepErr    map[string]error   // per-network characterization failure (negative cache)
+	prepares   int                // core.Prepare calls issued by the estimators
 
 	// Virtual-timeline state, advanced by Offer and Step.
 	clockMs     float64 // end of the last dispatched round
@@ -171,15 +181,19 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Platform == nil {
 		return nil, fmt.Errorf("serve: nil platform")
 	}
-	if cfg.MaxBatch < 0 || cfg.MaxQueue < 0 || cfg.AdmitSLOFactor < 0 || cfg.MaxWaitRounds < 0 {
+	if cfg.MaxBatch < 0 || cfg.MaxQueue < 0 || cfg.AdmitSLOFactor < 0 || cfg.MaxWaitRounds < 0 || cfg.ScoreBeam < 0 {
 		return nil, fmt.Errorf("serve: negative config value")
 	}
 	former := cfg.Mix
 	if former == nil {
-		var err error
-		former, err = NewMixFormer(cfg.MixPolicy)
-		if err != nil {
-			return nil, err
+		if MixPolicyName(cfg.MixPolicy) == MixContentionAware {
+			former = ContentionAwareMix(cfg.ScoreBeam)
+		} else {
+			var err error
+			former, err = NewMixFormer(cfg.MixPolicy)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if cfg.Name == "" {
@@ -234,6 +248,7 @@ func New(cfg Config) (*Runtime, error) {
 		former:     former,
 		standalone: map[string]float64{},
 		demand:     map[string]float64{},
+		prepErr:    map[string]error{},
 		queued:     map[string]int{},
 		lastSched:  map[string]*schedule.Schedule{},
 	}, nil
@@ -324,47 +339,30 @@ func (r *Runtime) Reset() {
 	}
 }
 
-// StandaloneMs estimates a network's contention-free service time on this
-// device: the minimum per-group latency over the allowed accelerators. It
-// is the admission controller's service-time estimate and the affinity
-// placement signal. It characterizes directly (core.Prepare) rather than
-// going through the schedule cache: admission needs no solve, and must not
-// perturb the cache's hit/upgrade accounting.
-func (r *Runtime) StandaloneMs(network string) (float64, error) {
-	if ms, ok := r.standalone[network]; ok {
-		return ms, nil
+// characterize fills the per-network estimate memos (standalone service
+// time and memory demand) with one core.Prepare, negative-caching the
+// failure: a network whose characterization fails once is never
+// re-prepared — the hot dispatch path (demand ranking, spread probes,
+// admission and backlog estimates) must not repeat a failing prepare
+// every round.
+func (r *Runtime) characterize(network string) error {
+	if _, ok := r.standalone[network]; ok {
+		return nil
 	}
+	if err, ok := r.prepErr[network]; ok {
+		return err
+	}
+	r.prepares++
 	_, pr, err := core.Prepare(core.Request{
 		Platform:  r.cfg.Platform,
 		Networks:  []string{network},
 		MaxGroups: r.cfg.MaxGroups,
 	})
 	if err != nil {
-		return 0, err
+		r.prepErr[network] = err
+		return err
 	}
-	ms := schedule.MinBaseLatencyMs(pr, 0, 1)
-	r.standalone[network] = ms
-	return ms, nil
-}
-
-// DemandGBps estimates a network's standalone memory demand on this
-// device: the time-weighted mean of per-group demand along the fastest
-// per-group accelerator path (the same path StandaloneMs costs). It is
-// the demand-balance mix policy's ranking signal — computed from the
-// profiler's characterization, memoized per network, and independent of
-// the schedule cache so demand ranking never perturbs hit accounting.
-func (r *Runtime) DemandGBps(network string) (float64, error) {
-	if d, ok := r.demand[network]; ok {
-		return d, nil
-	}
-	_, pr, err := core.Prepare(core.Request{
-		Platform:  r.cfg.Platform,
-		Networks:  []string{network},
-		MaxGroups: r.cfg.MaxGroups,
-	})
-	if err != nil {
-		return 0, err
-	}
+	r.standalone[network] = schedule.MinBaseLatencyMs(pr, 0, 1)
 	var weighted, total float64
 	for g := range pr.Groups[0] {
 		best := pr.Allowed[0]
@@ -382,7 +380,135 @@ func (r *Runtime) DemandGBps(network string) (float64, error) {
 		d = weighted / total
 	}
 	r.demand[network] = d
-	return d, nil
+	return nil
+}
+
+// PrepareCalls reports how many core.Prepare characterizations the
+// runtime's estimators have issued — the regression signal that the
+// memoization (positive and negative) actually short-circuits the hot
+// path.
+func (r *Runtime) PrepareCalls() int { return r.prepares }
+
+// StandaloneMs estimates a network's contention-free service time on this
+// device: the minimum per-group latency over the allowed accelerators. It
+// is the admission controller's service-time estimate and the affinity
+// placement signal. It characterizes directly (core.Prepare) rather than
+// going through the schedule cache: admission needs no solve, and must not
+// perturb the cache's hit/upgrade accounting. Failures are memoized like
+// successes, so a network that cannot be characterized costs one prepare,
+// ever.
+func (r *Runtime) StandaloneMs(network string) (float64, error) {
+	if err := r.characterize(network); err != nil {
+		return 0, err
+	}
+	return r.standalone[network], nil
+}
+
+// DemandGBps estimates a network's standalone memory demand on this
+// device: the time-weighted mean of per-group demand along the fastest
+// per-group accelerator path (the same path StandaloneMs costs). It is
+// the demand-balance mix policy's ranking signal — computed from the
+// profiler's characterization, memoized per network (errors included),
+// and independent of the schedule cache so demand ranking never perturbs
+// hit accounting.
+func (r *Runtime) DemandGBps(network string) (float64, error) {
+	if err := r.characterize(network); err != nil {
+		return 0, err
+	}
+	return r.demand[network], nil
+}
+
+// batchScorer builds the round's BatchScorer: the analytic contention
+// model applied to the schedule the runtime would actually deploy for a
+// candidate batch's mix right now — Deployable on the mix-keyed cache
+// entry, whether live (dispatched before) or a scoring probe. Probes
+// solve speculatively with their replay anchored at first-probe time, so
+// a candidate the policy keeps weighing keeps improving — and is already
+// warm if it eventually wins. Scoring never touches the cache's
+// hit/miss/upgrade accounting, so a scored-but-not-dispatched mix leaves
+// no trace in the summary.
+func (r *Runtime) batchScorer(cands []Candidate, startMs float64) BatchScorer {
+	return func(sel []int) (BatchScore, bool) {
+		if len(sel) == 0 {
+			return BatchScore{}, false
+		}
+		idx := append([]int(nil), sel...)
+		sort.Ints(idx)
+		// Canonical mix order mirrors dispatch: stable-sorted by network
+		// name, queue order among equals, so StreamEndMs maps 1:1.
+		perm := make([]int, len(idx))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			return cands[idx[perm[a]]].Network < cands[idx[perm[b]]].Network
+		})
+		mix := make([]string, len(idx))
+		for k, pi := range perm {
+			mix[k] = cands[idx[pi]].Network
+		}
+		ev, err := r.scoreMix(mix, startMs)
+		if err != nil {
+			return BatchScore{}, false
+		}
+		ends := make([]float64, len(idx))
+		for k, pi := range perm {
+			ends[pi] = ev.Result.StreamEndMs[k]
+		}
+		return BatchScore{MakespanMs: ev.MakespanMs, EndMs: ends}, true
+	}
+}
+
+// scoreMix is the one scoring primitive both mix-aware layers share: the
+// ground-truth evaluation of the schedule this runtime would deploy for
+// the canonical mix at virtual time atMs — the cache entry's current
+// incumbent under the contention-aware policy, the naive schedule under
+// the naive one — via a probe, so unseen mixes are characterized (and
+// speculatively solved) without touching hit/miss accounting. Batch
+// scoring and fleet placement must rank with the same signal, so any
+// change to schedule choice belongs here.
+func (r *Runtime) scoreMix(mix []string, atMs float64) (*schedule.Eval, error) {
+	entry, _, err := r.cache.Probe(mix, atMs)
+	if err != nil {
+		return nil, err
+	}
+	s := entry.Naive
+	if r.cfg.Policy == ContentionAware {
+		s = entry.Deployable(atMs)
+	}
+	return entry.Evaluate(s)
+}
+
+// MixFitMs predicts how well a network would co-run with this device's
+// pending work: the minimum model-predicted makespan of pairing the
+// arrival with any distinct pending network, scored exactly as the
+// contention-aware mix policy scores candidate batches (warm schedules
+// for dispatched mixes, memoized naive probes for unseen ones). With
+// nothing pending it degrades to the standalone estimate — an idle device
+// offers the contention-free co-run. The fleet's mix-aware placer steers
+// by it, extending mix-awareness above the device boundary.
+func (r *Runtime) MixFitMs(network string) (float64, error) {
+	if len(r.pending) == 0 {
+		return r.StandaloneMs(network)
+	}
+	seen := map[string]bool{}
+	names := make([]string, 0, len(r.pending))
+	for _, p := range r.pending {
+		if !seen[p.Network] {
+			seen[p.Network] = true
+			names = append(names, p.Network)
+		}
+	}
+	sort.Strings(names)
+	best := math.Inf(1)
+	for _, q := range names {
+		ev, err := r.scoreMix([]string{network, q}, r.clockMs)
+		if err != nil {
+			return 0, err
+		}
+		best = math.Min(best, ev.MakespanMs)
+	}
+	return best, nil
 }
 
 // PendingDemandSpread is the gap between the heaviest and lightest
@@ -531,7 +657,11 @@ func (r *Runtime) Step() error {
 			cands[i].DemandGBps = d
 		}
 	}
-	sel := r.former.Form(FormInput{StartMs: start, MaxBatch: r.cfg.MaxBatch, Eligible: cands})
+	in := FormInput{StartMs: start, MaxBatch: r.cfg.MaxBatch, Eligible: cands}
+	if sa, ok := r.former.(scoreAware); ok && sa.ScoreAware() {
+		in.Score = r.batchScorer(cands, start)
+	}
+	sel := r.former.Form(in)
 	picks, err := composeBatch(sel, cands, r.cfg.MaxBatch, r.maxWait())
 	if err != nil {
 		return fmt.Errorf("serve: mix policy %s: %v", r.former.Name(), err)
@@ -705,12 +835,12 @@ type MixComparison struct {
 }
 
 // CompareMixes serves the same trace under each named mix policy (default:
-// fifo then demand-balance) on otherwise identical runtimes. Each policy
-// gets a fresh runtime and cache, so the comparison isolates batch
-// formation from cache warmth.
+// fifo, then demand-balance, then contention-aware) on otherwise identical
+// runtimes. Each policy gets a fresh runtime and cache, so the comparison
+// isolates batch formation from cache warmth.
 func CompareMixes(cfg Config, tr Trace, policies ...string) (*MixComparison, error) {
 	if len(policies) == 0 {
-		policies = []string{MixFIFO, MixDemandBalance}
+		policies = []string{MixFIFO, MixDemandBalance, MixContentionAware}
 	}
 	out := &MixComparison{Policies: append([]string(nil), policies...)}
 	for _, pol := range policies {

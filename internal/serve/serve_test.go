@@ -201,6 +201,84 @@ func TestCacheHitMissAndUpgrade(t *testing.T) {
 	}
 }
 
+// TestCacheProbeAccounting pins the scoring-probe contract: probing
+// never counts as a hit or miss, never registers the mix (Export stays
+// clean), and a later Lookup of the probed mix promotes the probe — same
+// entry pointer, solve progress preserved from the probe's anchor — while
+// counting the one real miss.
+func TestCacheProbeAccounting(t *testing.T) {
+	cache, err := NewCache(CacheConfig{
+		Platform:        soc.Orin(),
+		Objective:       schedule.MinMaxLatency,
+		Solve:           true,
+		SolverTimeScale: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, live, err := cache.Probe([]string{"VGG19", "ResNet152"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live {
+		t.Error("unseen mix probed as live")
+	}
+	if p1.Any == nil {
+		t.Error("probe of a solving cache did not solve speculatively")
+	}
+	if p1.CreatedMs != 5 {
+		t.Errorf("probe anchored at %.1f ms, want the probe instant 5", p1.CreatedMs)
+	}
+	p2, _, err := cache.Probe([]string{"ResNet152", "VGG19"}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Error("re-probe built a second entry instead of memoizing")
+	}
+	if cache.Hits != 0 || cache.Misses != 0 || cache.Len() != 0 {
+		t.Errorf("probing perturbed accounting: hits=%d misses=%d len=%d, want 0/0/0",
+			cache.Hits, cache.Misses, cache.Len())
+	}
+	if got := len(cache.Export().Entries); got != 0 {
+		t.Errorf("probe leaked into the export: %d entries", got)
+	}
+
+	e, hit, err := cache.Lookup([]string{"VGG19", "ResNet152"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("promoting lookup reported a hit")
+	}
+	if e != p1 {
+		t.Error("lookup rebuilt the mix instead of promoting the probe")
+	}
+	if e.CreatedMs != 5 {
+		t.Errorf("promotion re-anchored CreatedMs to %.1f, want the probe's 5 (speculative solve progress)", e.CreatedMs)
+	}
+	if cache.Misses != 1 || cache.Len() != 1 {
+		t.Errorf("after promotion: misses=%d len=%d, want 1/1", cache.Misses, cache.Len())
+	}
+	if _, live, err := cache.Probe([]string{"VGG19", "ResNet152"}, 30); err != nil || !live {
+		t.Errorf("probe of a dispatched mix: live=%v err=%v, want true, nil", live, err)
+	}
+
+	// A failing characterization is negative-cached: the memoized error
+	// comes back on every re-probe instead of a repeated prepare.
+	_, _, err1 := cache.Probe([]string{"VGG19", "NoSuchNet"}, 40)
+	if err1 == nil {
+		t.Fatal("unknown network probed without error")
+	}
+	_, _, err2 := cache.Probe([]string{"NoSuchNet", "VGG19"}, 41)
+	if err2 == nil {
+		t.Fatal("re-probe of a failing mix lost its error")
+	}
+	if err1 != err2 {
+		t.Errorf("failing probe not memoized: %v vs %v", err1, err2)
+	}
+}
+
 func TestSLOAccounting(t *testing.T) {
 	mk := func(tenant string, lat float64, violated, rejected bool) Completion {
 		c := Completion{Request: Request{Tenant: tenant, Network: "VGG19", SLOMs: 10}}
