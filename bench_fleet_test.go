@@ -136,3 +136,38 @@ type coreAnytime struct {
 	incumbents              int
 	nodesToBest, nodesTotal int
 }
+
+// BenchmarkFleetServeWall measures real end-to-end fleet speed:
+// wall-clock requests per second pushing the demo trace through the
+// three-device affinity pool. The *_wall metric is gated by
+// cmd/benchdiff's -wall-tolerance; the deterministic completed count
+// pins the work behind the rate.
+func BenchmarkFleetServeWall(b *testing.B) {
+	tr := fleetBenchTrace(b)
+	var sum *fleet.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fleet.New(fleet.Config{
+			Devices: []fleet.DeviceSpec{
+				{Platform: "Orin"}, {Platform: "Xavier"}, {Platform: "SD865"},
+			},
+			Placement:       fleet.Affinity(),
+			SolverTimeScale: 50,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err = f.Serve(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	metrics := map[string]float64{
+		"completed": float64(sum.Total.Completed),
+	}
+	if elapsed > 0 {
+		metrics["req_per_sec_wall"] = float64(sum.Total.Completed*b.N) / elapsed
+	}
+	reportAndRecord(b, "BenchmarkFleetServeWall", metrics)
+}

@@ -24,9 +24,9 @@ const (
 )
 
 var benchNotes = map[string]string{
-	benchFleetJSON:   "regression baseline for solver incumbent quality and fleet throughput; regenerate with: go test -bench 'Fleet|IncumbentQuality' -benchtime=1x .",
+	benchFleetJSON:   "regression baseline for solver incumbent quality and fleet throughput (incl. the wall-clock req_per_sec_wall leg, gated at benchdiff's -wall-tolerance); regenerate with: go test -bench 'Fleet|IncumbentQuality' -benchtime=1x .",
 	benchControlJSON: "regression baseline for the control plane: controlled-vs-static p99, violations and device-time on the bursty trace; regenerate with: go test -bench Control -benchtime=1x .",
-	benchServeJSON:   "regression baseline for the dispatch path: fifo vs demand-balance vs contention-aware mix forming on the mixed-demand trace; regenerate with: go test -bench ServeMix -benchtime=1x .",
+	benchServeJSON:   "regression baseline for the dispatch path: fifo vs demand-balance vs contention-aware mix forming on the mixed-demand trace, plus the wall-clock steps_per_sec_wall leg (gated at benchdiff's -wall-tolerance); regenerate with: go test -bench 'ServeMix|ServeSteps' -benchtime=1x .",
 }
 
 // reportAndRecord reports each metric on the benchmark result line and

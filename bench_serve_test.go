@@ -65,3 +65,38 @@ func BenchmarkServeMixFormers(b *testing.B) {
 	}
 	reportAndRecordServe(b, "BenchmarkServeMixFormers", metrics)
 }
+
+// BenchmarkServeStepsWall measures real dispatch-loop speed: wall-clock
+// Runtime.Step rounds per second serving the mixed-demand trace under
+// demand-balance forming. Unlike the virtual-time metrics above, this
+// leg moves with host load, so cmd/benchdiff gates all *_wall metrics
+// with its separate, generous -wall-tolerance; the deterministic rounds
+// count rides along at the strict tolerance to pin the amount of work
+// the wall number is normalized by.
+func BenchmarkServeStepsWall(b *testing.B) {
+	tr := serveBenchTrace(b)
+	var sum *serve.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := serve.New(serve.Config{
+			Platform:        soc.Orin(),
+			SolverTimeScale: 50,
+			MixPolicy:       serve.MixDemandBalance,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, err = rt.Serve(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := b.Elapsed().Seconds()
+	metrics := map[string]float64{
+		"rounds": float64(sum.Rounds),
+	}
+	if elapsed > 0 {
+		metrics["steps_per_sec_wall"] = float64(sum.Rounds*b.N) / elapsed
+	}
+	reportAndRecordServe(b, "BenchmarkServeStepsWall", metrics)
+}

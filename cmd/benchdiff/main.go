@@ -2,13 +2,15 @@
 // BENCH_*.json format written by the repo's bench harness: a note plus
 // benchmark -> metric -> value) and exits non-zero when any shared metric
 // drifts beyond the relative tolerance. The serving, fleet and control
-// benchmarks derive every metric from virtual time, so on the same code
+// benchmarks derive most metrics from virtual time, so on the same code
 // they reproduce exactly — any drift is a behavior change, and the
-// tolerance only absorbs intentional incremental tuning.
+// tolerance only absorbs intentional incremental tuning. Metrics whose
+// name ends in "_wall" are wall-clock rates that move with host load;
+// they are gated by the separate, generous -wall-tolerance instead.
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_fleet.json -current /tmp/BENCH_fleet.json [-tolerance 0.25]
+//	benchdiff -baseline BENCH_fleet.json -current /tmp/BENCH_fleet.json [-tolerance 0.25] [-wall-tolerance 10]
 //
 // Metrics present on only one side are reported but do not fail the
 // check (new benchmarks appear, old ones retire); value drifts do.
@@ -21,6 +23,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 )
 
 type artifact struct {
@@ -33,6 +36,7 @@ func main() {
 		baselinePath = flag.String("baseline", "", "committed baseline JSON (required)")
 		currentPath  = flag.String("current", "", "freshly generated JSON (required)")
 		tolerance    = flag.Float64("tolerance", 0.25, "maximum relative drift per metric")
+		wallTol      = flag.Float64("wall-tolerance", 10, "maximum relative drift for *_wall (wall-clock) metrics, which move with host load")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -78,13 +82,17 @@ func main() {
 				continue
 			}
 			drift := relDrift(bv, cv)
+			tol := *tolerance
+			if strings.HasSuffix(metric, "_wall") {
+				tol = *wallTol
+			}
 			status := "ok"
-			if drift > *tolerance {
+			if drift > tol {
 				status = "FAIL"
 				failures++
 			}
-			fmt.Printf("%-8s %s/%s: baseline %.4f, current %.4f (drift %.1f%%)\n",
-				status, bench, metric, bv, cv, 100*drift)
+			fmt.Printf("%-8s %s/%s: baseline %.4f, current %.4f (drift %.1f%%, tol %.0f%%)\n",
+				status, bench, metric, bv, cv, 100*drift, 100*tol)
 		}
 	}
 	if failures > 0 {

@@ -80,8 +80,11 @@ func main() {
 		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see cmd/serve)")
 		csvOut    = flag.String("csv", "", "write the control summary (or comparison) as CSV to this file")
 		jsonOut   = flag.String("json", "", "write the full summary (or comparison) as JSON to this file")
+		adaptWait = flag.Bool("adaptivewait", false, "scale each device's max-wait bound by the oldest request's SLO slack")
 		list      = flag.Bool("list", false, "list available networks, platforms and placements, then exit")
 	)
+	var obsf cliutil.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -116,7 +119,11 @@ func main() {
 			ScoreBeam:       *mixBeam,
 			MaxWaitRounds:   *maxWait,
 			SolverTimeScale: *scale,
+			AdaptiveMaxWait: *adaptWait,
+			SketchMetrics:   obsf.Sketch,
+			Tracer:          obsf.Tracer(),
 		},
+		Metrics: obsf.Metrics(),
 		TickMs:            *tick,
 		HighWatermarkMs:   *high,
 		LowWatermarkMs:    *low,
@@ -172,6 +179,9 @@ func main() {
 		}
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+	if err := obsf.WriteArtifacts(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

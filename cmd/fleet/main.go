@@ -66,8 +66,11 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the full summary (or comparison) as JSON to this file")
 		cacheSave = flag.String("cache-save", "", "write the per-platform schedule caches as JSON to this file after serving (-mode serve)")
 		cacheLoad = flag.String("cache-load", "", "seed the per-platform schedule caches from a -cache-save file before serving")
+		adaptWait = flag.Bool("adaptivewait", false, "scale each device's max-wait bound by the oldest request's SLO slack")
 		list      = flag.Bool("list", false, "list available networks, platforms and placements, then exit")
 	)
+	var obsf cliutil.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -105,6 +108,8 @@ func main() {
 		MaxWaitRounds:   *maxWait,
 		SolverTimeScale: *scale,
 		PrivateCaches:   *private,
+		AdaptiveMaxWait: *adaptWait,
+		SketchMetrics:   obsf.Sketch,
 	}
 	if cfg.Objective, err = cliutil.ParseObjective(*objective); err != nil {
 		fatalf("%v", err)
@@ -136,6 +141,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		cfg.Placement = pl
+		cfg.Tracer = obsf.Tracer()
 		f, err := fleet.New(cfg)
 		if err != nil {
 			fatalf("%v", err)
@@ -150,6 +156,9 @@ func main() {
 		sum, err := f.Serve(tr)
 		if err != nil {
 			fatalf("%v", err)
+		}
+		if reg := obsf.Metrics(); reg != nil {
+			f.FillMetrics(reg)
 		}
 		printFleet(sum)
 		if *cacheSave != "" {
@@ -166,6 +175,9 @@ func main() {
 		if *cacheSave != "" || *cacheLoad != "" {
 			fatalf("-cache-save/-cache-load need -mode serve (compare builds its own fleets)")
 		}
+		if obsf.Tracing() || obsf.MetricsPath != "" {
+			fatalf("-trace/-trace-jsonl/-metrics-out need -mode serve (compare rebuilds identically named devices per leg, which would overlap in one trace)")
+		}
 		cmp, err := fleet.Compare(cfg, tr)
 		if err != nil {
 			fatalf("%v", err)
@@ -177,6 +189,9 @@ func main() {
 		}
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+	if err := obsf.WriteArtifacts(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -68,8 +68,11 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the full summary as JSON to this file")
 		cacheSave = flag.String("cache-save", "", "write the solved schedule cache as JSON to this file after serving (modes aware/naive)")
 		cacheLoad = flag.String("cache-load", "", "seed the schedule cache from a -cache-save file before serving, skipping re-solves of known mixes")
+		adaptWait = flag.Bool("adaptivewait", false, "scale the max-wait bound by the oldest request's SLO slack (starved requests force sooner)")
 		list      = flag.Bool("list", false, "list available networks, platforms and mix policies, then exit")
 	)
+	var obsf cliutil.ObsFlags
+	obsf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -107,6 +110,10 @@ func main() {
 		AdmitSLOFactor:  *admitSLO,
 		MaxWaitRounds:   *maxWait,
 		SolverTimeScale: *scale,
+		AdaptiveMaxWait: *adaptWait,
+		Tracer:          obsf.Tracer(),
+		SketchMetrics:   obsf.Sketch,
+		Metrics:         obsf.Metrics(),
 	}
 	if cfg.Objective, err = cliutil.ParseObjective(*objective); err != nil {
 		fatalf("%v", err)
@@ -186,6 +193,9 @@ func main() {
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
+	if err := obsf.WriteArtifacts(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func printSummary(w io.Writer, sum *serve.Summary) {
@@ -210,6 +220,13 @@ func printSummary(w io.Writer, sum *serve.Summary) {
 // be pure waste.
 func compareMixesFrom(cfg serve.Config, tr serve.Trace, aware *serve.Summary) (*serve.MixComparison, error) {
 	if serve.MixPolicyName(cfg.MixPolicy) != serve.MixFIFO || cfg.Mix != nil {
+		return serve.CompareMixes(cfg, tr)
+	}
+	// With observability on, skip the fifo-reuse shortcut: CompareMixes
+	// renames each leg so its events land on distinct trace tracks and its
+	// counters under distinct metric prefixes, which the hand-built legs
+	// below would not.
+	if cfg.Tracer != nil || cfg.Metrics != nil {
 		return serve.CompareMixes(cfg, tr)
 	}
 	out := &serve.MixComparison{

@@ -7,7 +7,11 @@
 // demand-balance, slo-aware, contention-aware — the last scoring a beam
 // of candidate batches with the analytic contention model) decides which
 // networks co-run each round; internal/fleet extends mix-awareness above
-// the device boundary with the mix-aware placement policy; the benchmark
+// the device boundary with the mix-aware placement policy; internal/obs
+// adds deterministic observability — request-lifecycle tracing exported
+// as Perfetto-loadable Chrome trace JSON, streaming-sketch percentiles,
+// and a counter registry — threaded through serve, fleet and control
+// without perturbing a single scheduling decision; the benchmark
 // suite in bench_test.go regenerates every table and figure of the
 // paper's evaluation. See README.md for a package tour and quickstart.
 package haxconn

@@ -7,6 +7,7 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"haxconn/internal/fleet"
+	"haxconn/internal/obs"
 	"haxconn/internal/report"
 	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
@@ -206,4 +208,96 @@ func SaveFleetCaches(path string, f *fleet.Fleet) error {
 		caches = append(caches, f.Cache(p))
 	}
 	return serve.SaveCaches(file, caches...)
+}
+
+// ObsFlags bundles the serving commands' shared observability flags:
+// -trace (Chrome trace-event JSON for Perfetto), -trace-jsonl (the same
+// events as JSON Lines), -metrics-out (the counter registry, JSONL or
+// CSV by extension) and -sketch (streaming-quantile summaries). Register
+// installs them on a FlagSet; Tracer/Metrics return the sinks to wire
+// into a Config (nil when the matching flag is off, so untraced runs pay
+// nothing); WriteArtifacts writes whichever outputs were requested.
+type ObsFlags struct {
+	TracePath   string
+	JSONLPath   string
+	MetricsPath string
+	Sketch      bool
+
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+}
+
+// Register installs the observability flags on the command's FlagSet.
+func (o *ObsFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.TracePath, "trace", "", "write Chrome trace-event JSON here (open in ui.perfetto.dev)")
+	fs.StringVar(&o.JSONLPath, "trace-jsonl", "", "write trace events as JSON Lines here")
+	fs.StringVar(&o.MetricsPath, "metrics-out", "", "write the metric registry here (.csv for CSV, else JSON Lines)")
+	fs.BoolVar(&o.Sketch, "sketch", false, "streaming-quantile latency summaries (O(1) memory per tenant, ±0.5% percentiles)")
+}
+
+// Tracing reports whether any trace output was requested.
+func (o *ObsFlags) Tracing() bool { return o.TracePath != "" || o.JSONLPath != "" }
+
+// Tracer returns the shared event sink, created on first use; nil when no
+// trace output was requested.
+func (o *ObsFlags) Tracer() *obs.Tracer {
+	if !o.Tracing() {
+		return nil
+	}
+	if o.tracer == nil {
+		o.tracer = obs.NewTracer()
+	}
+	return o.tracer
+}
+
+// Metrics returns the shared counter registry, created on first use; nil
+// when no -metrics-out was requested.
+func (o *ObsFlags) Metrics() *obs.Registry {
+	if o.MetricsPath == "" {
+		return nil
+	}
+	if o.metrics == nil {
+		o.metrics = obs.NewRegistry()
+	}
+	return o.metrics
+}
+
+// WriteArtifacts writes the requested observability outputs, reporting
+// each file on stdout like WriteOutputs does.
+func (o *ObsFlags) WriteArtifacts() error {
+	write := func(path, what string, n int, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d %s)\n", path, n, what)
+		return nil
+	}
+	if o.TracePath != "" {
+		t := o.Tracer()
+		if err := write(o.TracePath, "events", t.Len(), t.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if o.JSONLPath != "" {
+		t := o.Tracer()
+		if err := write(o.JSONLPath, "events", t.Len(), t.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if o.MetricsPath != "" {
+		reg := o.Metrics()
+		fn := reg.WriteJSONL
+		if strings.HasSuffix(o.MetricsPath, ".csv") {
+			fn = func(w io.Writer) error { return report.MetricsCSV(w, reg.Snapshot()) }
+		}
+		if err := write(o.MetricsPath, "metrics", reg.Len(), fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }

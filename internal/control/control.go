@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"haxconn/internal/fleet"
+	"haxconn/internal/obs"
 	"haxconn/internal/serve"
 )
 
@@ -44,8 +45,16 @@ import (
 // Devices field is the initial pool and its Placement is ignored — the
 // controller always places through its sticky assignment table.
 type Config struct {
-	// Fleet is the initial pool and the per-device serving knobs.
+	// Fleet is the initial pool and the per-device serving knobs. Its
+	// Tracer also records the control plane's own decisions (scale,
+	// migration and mix events plus per-tick pool samples) alongside the
+	// fleet's placement and device lifecycle events.
 	Fleet fleet.Config
+
+	// Metrics, when set, receives the run's counters at end of serve: the
+	// fleet's per-device metrics plus the control plane's own (ticks,
+	// scale events, migrations, device-ms). Observational only.
+	Metrics *obs.Registry
 
 	// TickMs is the control-loop period in virtual ms (default 25).
 	TickMs float64
@@ -345,6 +354,29 @@ type run struct {
 	peak       int
 }
 
+// logScale records one scale event and mirrors it into the trace.
+func (r *run) logScale(e ScaleEvent) {
+	r.events = append(r.events, e)
+	if t := r.cfg.Fleet.Tracer; t != nil {
+		detail := e.Action
+		if e.Mix != "" {
+			detail += ":" + e.Mix
+		}
+		t.Emit(obs.Event{AtMs: e.AtMs, Kind: obs.KindScale, Device: e.Device,
+			Request: obs.NoRequest, Detail: detail, Value: e.BacklogMs})
+	}
+}
+
+// logMigration records one migration and mirrors it into the trace.
+func (r *run) logMigration(m Migration) {
+	r.migrations = append(r.migrations, m)
+	if t := r.cfg.Fleet.Tracer; t != nil {
+		t.Emit(obs.Event{AtMs: m.AtMs, Kind: obs.KindMigrate, Tenant: m.Tenant,
+			Request: obs.NoRequest, Detail: m.From + "->" + m.To + " (" + m.Reason + ")",
+			Value: m.RollingP99Ms})
+	}
+}
+
 func newRun(cfg Config) (*run, error) {
 	r := &run{cfg: cfg, table: newStickyTable(), tenants: map[string]*tenantWindow{}}
 	fc := cfg.Fleet
@@ -502,7 +534,7 @@ func (r *run) switchMix(d serve.Device, want string, nowMs, spread float64, beam
 		}
 	}
 	d.SetMix(m)
-	r.events = append(r.events, ScaleEvent{
+	r.logScale(ScaleEvent{
 		AtMs: nowMs, Action: "mix", Device: d.Name(), Platform: d.Platform().Name,
 		Active: r.active(), BacklogMs: spread, Mix: want,
 	})
@@ -540,7 +572,7 @@ func (r *run) retire(nowMs float64) {
 		}
 		r.leaveMs[i] = nowMs
 		d := r.fleet.Devices()[i]
-		r.events = append(r.events, ScaleEvent{
+		r.logScale(ScaleEvent{
 			AtMs: nowMs, Action: "remove", Device: d.Name(), Platform: d.Platform().Name,
 			Active: r.active(),
 		})
@@ -616,6 +648,15 @@ func (r *run) sample(nowMs float64) {
 	r.lastTickMs = nowMs
 	r.lastUtilPct = s.UtilizationPct
 	r.timeline = append(r.timeline, s)
+	if t := r.cfg.Fleet.Tracer; t != nil {
+		t.Emit(obs.Event{AtMs: nowMs, Kind: obs.KindPool, Request: obs.NoRequest,
+			Metrics: map[string]float64{
+				"active":          float64(s.Active),
+				"draining":        float64(s.Draining),
+				"backlog_ms":      s.BacklogMs,
+				"utilization_pct": s.UtilizationPct,
+			}})
+	}
 }
 
 // autoscale applies the watermark/hysteresis policy to the two sampled
@@ -678,7 +719,7 @@ func (r *run) grow(nowMs, pressureMs float64) error {
 	if a := r.active(); a > r.peak {
 		r.peak = a
 	}
-	r.events = append(r.events, ScaleEvent{
+	r.logScale(ScaleEvent{
 		AtMs: nowMs, Action: "grow", Device: d.Name(), Platform: d.Platform().Name,
 		Active: r.active(), BacklogMs: pressureMs, Seeded: seeded,
 	})
@@ -776,7 +817,7 @@ func (r *run) migrate(nowMs float64) {
 		return
 	}
 	devs := r.fleet.Devices()
-	r.migrations = append(r.migrations, Migration{
+	r.logMigration(Migration{
 		AtMs: nowMs, Tenant: worst, From: devs[cur].Name(), To: devs[target].Name(),
 		Reason: "slo-pressure", RollingP99Ms: w.p99(), ViolationRate: w.violationRate(),
 	})
@@ -858,7 +899,7 @@ func (r *run) shrink(nowMs, pressureMs float64) {
 	}
 	r.loStreak, r.cooldown = 0, r.cfg.CooldownTicks
 	devs := r.fleet.Devices()
-	r.events = append(r.events, ScaleEvent{
+	r.logScale(ScaleEvent{
 		AtMs: nowMs, Action: "drain", Device: devs[victim].Name(), Platform: devs[victim].Platform().Name,
 		Active: r.active(), BacklogMs: pressureMs,
 	})
@@ -874,7 +915,7 @@ func (r *run) shrink(nowMs, pressureMs float64) {
 			r.table.unassign(name)
 			continue
 		}
-		r.migrations = append(r.migrations, Migration{
+		r.logMigration(Migration{
 			AtMs: nowMs, Tenant: name, From: devs[victim].Name(), To: devs[target].Name(),
 			Reason: "drain",
 		})
@@ -908,6 +949,16 @@ func (r *run) summarize() *Summary {
 		if span := leave - r.joinMs[i]; span > 0 {
 			sum.DeviceMs += span
 		}
+	}
+	if reg := r.cfg.Metrics; reg != nil {
+		r.fleet.FillMetrics(reg)
+		reg.Set("control.ticks", float64(len(r.timeline)))
+		reg.Set("control.scale_events", float64(len(r.events)))
+		reg.Set("control.migrations", float64(len(r.migrations)))
+		reg.Set("control.peak_devices", float64(r.peak))
+		reg.Set("control.final_devices", float64(r.active()))
+		reg.Set("control.seeded_entries", float64(r.seeded))
+		reg.Set("control.device_ms", sum.DeviceMs)
 	}
 	return sum
 }

@@ -1,0 +1,104 @@
+package control
+
+import (
+	"bytes"
+	"testing"
+
+	"haxconn/internal/obs"
+)
+
+// TestControlTracingNoPerturbation: tracing a controlled run must not
+// change a byte of its summary, and the trace must mirror the decision
+// log exactly — one scale event per log entry, one migrate event per
+// migration, one pool counter sample per tick.
+func TestControlTracingNoPerturbation(t *testing.T) {
+	tr := burstTrace(t, 1)
+	run := func(tracer *obs.Tracer) (*Summary, []byte) {
+		t.Helper()
+		cfg := demoConfig()
+		cfg.Fleet.Tracer = tracer
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, mustJSON(t, sum)
+	}
+	_, plain := run(nil)
+	tracer := obs.NewTracer()
+	sum, traced := run(tracer)
+	if !bytes.Equal(plain, traced) {
+		t.Errorf("tracing changed the control summary:\n%s\nvs\n%s", plain, traced)
+	}
+	counts := tracer.CountByKind()
+	if got, want := counts[obs.KindScale], len(sum.Scale); got != want {
+		t.Errorf("scale events = %d, want one per decision-log entry (%d)", got, want)
+	}
+	if got, want := counts[obs.KindMigrate], len(sum.Migrations); got != want {
+		t.Errorf("migrate events = %d, want one per migration (%d)", got, want)
+	}
+	if got, want := counts[obs.KindPool], len(sum.Timeline); got != want {
+		t.Errorf("pool counter events = %d, want one per tick sample (%d)", got, want)
+	}
+	if counts[obs.KindScale] == 0 {
+		t.Error("burst demo produced no scaling decisions; trace mirror check is vacuous")
+	}
+	if got, want := counts[obs.KindPlace], len(tr); got != want {
+		t.Errorf("place events = %d, want one per request (%d)", got, want)
+	}
+}
+
+// TestControlCompareTracesControlledLegOnly: in compare mode only the
+// controlled leg may write to the trace — the static baseline rebuilds
+// identically named devices, which would overlap on the same tracks.
+func TestControlCompareTracesControlledLegOnly(t *testing.T) {
+	tr := burstTrace(t, 1)
+	tracer := obs.NewTracer()
+	cfg := demoConfig()
+	cfg.Fleet.Tracer = tracer
+	cmp, err := Compare(cfg, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tracer.CountByKind()
+	// Both legs saw every request; a double-traced run would show twice
+	// as many arrivals as the trace has requests.
+	if got, want := counts[obs.KindArrive], len(tr); got != want {
+		t.Errorf("arrive events = %d, want %d (controlled leg only)", got, want)
+	}
+	if cmp.Static == nil {
+		t.Fatal("static leg missing")
+	}
+}
+
+// TestControlFillMetrics: the registry snapshot must agree with the
+// summary's control-plane aggregates.
+func TestControlFillMetrics(t *testing.T) {
+	tr := burstTrace(t, 1)
+	reg := obs.NewRegistry()
+	cfg := demoConfig()
+	cfg.Metrics = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"control.scale_events":  float64(len(sum.Scale)),
+		"control.migrations":    float64(len(sum.Migrations)),
+		"control.ticks":         float64(len(sum.Timeline)),
+		"control.peak_devices":  float64(sum.PeakDevices),
+		"control.final_devices": float64(sum.FinalDevices),
+		"control.device_ms":     sum.DeviceMs,
+	} {
+		if got := reg.Get(key); got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 
+	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 	"haxconn/internal/soc"
@@ -84,6 +85,17 @@ type Config struct {
 	// PrivateCaches gives every device its own schedule cache instead of
 	// sharing one per platform (for measuring what sharing is worth).
 	PrivateCaches bool
+	// AdaptiveMaxWait passes the slack-scaled starvation bound to every
+	// device; see serve.Config.AdaptiveMaxWait.
+	AdaptiveMaxWait bool
+	// Tracer, when set, records placement decisions plus every device's
+	// lifecycle events into one trace (see serve.Config.Tracer). Strictly
+	// observational; Compare clears it on its comparison legs, whose
+	// identically-named devices would otherwise overlap in one trace.
+	Tracer *obs.Tracer
+	// SketchMetrics summarizes per-device and fleet latencies with the
+	// streaming quantile sketch; see serve.Config.SketchMetrics.
+	SketchMetrics bool
 }
 
 // Fleet is the dispatcher: a device pool, a placement policy, and the
@@ -165,6 +177,9 @@ func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 			if err != nil {
 				return nil, err
 			}
+			if f.cfg.Tracer != nil {
+				c.AttachTracer(f.cfg.Tracer)
+			}
 			f.caches[p.Name] = c
 			shared = c
 		}
@@ -186,6 +201,9 @@ func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 		MaxWaitRounds:   f.cfg.MaxWaitRounds,
 		MaxGroups:       f.cfg.MaxGroups,
 		SharedCache:     shared,
+		AdaptiveMaxWait: f.cfg.AdaptiveMaxWait,
+		Tracer:          f.cfg.Tracer,
+		SketchMetrics:   f.cfg.SketchMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -330,6 +348,11 @@ func (f *Fleet) Offer(req serve.Request) (int, bool, error) {
 	if j < 0 || j >= len(f.devices) || !f.placeable(j) {
 		return -1, false, fmt.Errorf("fleet: placement %s chose device %d of %d", f.placer.Name(), j, len(f.devices))
 	}
+	if f.cfg.Tracer != nil {
+		f.cfg.Tracer.Emit(obs.Event{AtMs: req.ArrivalMs, Kind: obs.KindPlace,
+			Device: f.devices[j].Name(), Tenant: req.Tenant, Network: req.Network,
+			Request: req.ID, Detail: f.placer.Name()})
+	}
 	rejected, err := f.devices[j].Offer(req)
 	if err != nil {
 		return -1, false, err
@@ -387,6 +410,21 @@ func (f *Fleet) Rewind() {
 		c.Rewind()
 	}
 	f.placer.Reset()
+}
+
+// FillMetrics snapshots every device's counters plus the fleet's
+// placement and cache state into the registry. No-op on nil.
+func (f *Fleet) FillMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Set("fleet.devices", float64(len(f.devices)))
+	for i, d := range f.devices {
+		// Each device fills its own cache's gauges too; a shared cache's
+		// are Set-idempotent, so the platform group converges on one value.
+		d.FillMetrics(reg)
+		reg.Add("fleet."+d.Name()+".placed", float64(f.placed[i]))
+	}
 }
 
 // Serve executes the trace across the pool in one shared virtual timeline
@@ -477,6 +515,10 @@ func Compare(cfg Config, tr serve.Trace, placements ...Placer) (*Comparison, err
 	for _, pl := range placements {
 		c := cfg
 		c.Placement = pl
+		// Each leg builds identically-named devices; one shared tracer
+		// would interleave their tracks indistinguishably. Trace a single
+		// fleet run instead of a comparison.
+		c.Tracer = nil
 		fl, err := New(c)
 		if err != nil {
 			return nil, err

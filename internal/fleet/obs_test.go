@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"haxconn/internal/obs"
+)
+
+// TestFleetTracingNoPerturbation: a traced fleet run must produce a
+// byte-identical summary to an untraced one, with exactly one placement
+// event per offered request and the full per-device lifecycle on the side.
+func TestFleetTracingNoPerturbation(t *testing.T) {
+	tr := defaultTrace(t)
+	run := func(tracer *obs.Tracer) []byte {
+		t.Helper()
+		cfg := threeDeviceConfig()
+		cfg.Tracer = tracer
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain := run(nil)
+	tracer := obs.NewTracer()
+	traced := run(tracer)
+	if !bytes.Equal(plain, traced) {
+		t.Errorf("tracing changed the fleet summary:\n%s\nvs\n%s", plain, traced)
+	}
+	counts := tracer.CountByKind()
+	if got, want := counts[obs.KindPlace], len(tr); got != want {
+		t.Errorf("place events = %d, want one per request (%d)", got, want)
+	}
+	for _, kind := range []string{obs.KindArrive, obs.KindAdmit, obs.KindMixForm, obs.KindDispatch, obs.KindComplete} {
+		if counts[kind] == 0 {
+			t.Errorf("no %q events from the devices (counts: %v)", kind, counts)
+		}
+	}
+	// Placement events must name real devices.
+	names := map[string]bool{}
+	for _, e := range tracer.Events() {
+		if e.Kind == obs.KindPlace {
+			names[e.Device] = true
+		}
+	}
+	for _, want := range []string{"Orin/0", "Xavier/0", "SD865/0"} {
+		if !names[want] {
+			t.Errorf("no place events on %s (got devices %v)", want, names)
+		}
+	}
+}
+
+// TestFleetSketchSummaryCounts: sketch-mode fleet summaries keep every
+// exact-count field identical to the stored-sample path.
+func TestFleetSketchSummaryCounts(t *testing.T) {
+	tr := defaultTrace(t)
+	run := func(sketch bool) *Summary {
+		t.Helper()
+		cfg := threeDeviceConfig()
+		cfg.SketchMetrics = sketch
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	exact, sketched := run(false), run(true)
+	if exact.Total.Offered != sketched.Total.Offered ||
+		exact.Total.Completed != sketched.Total.Completed ||
+		exact.Total.Violations != sketched.Total.Violations {
+		t.Errorf("sketch mode changed exact counts: %+v vs %+v", exact.Total, sketched.Total)
+	}
+	if exact.SLOAttainmentPct != sketched.SLOAttainmentPct {
+		t.Errorf("sketch mode changed SLO attainment: %v vs %v", exact.SLOAttainmentPct, sketched.SLOAttainmentPct)
+	}
+}
+
+// TestFleetFillMetrics: the registry view must agree with the summary.
+func TestFleetFillMetrics(t *testing.T) {
+	tr := defaultTrace(t)
+	f, err := New(threeDeviceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	f.FillMetrics(reg)
+	if got := reg.Get("fleet.devices"); got != 3 {
+		t.Errorf("fleet.devices = %v, want 3", got)
+	}
+	placed := 0.0
+	for _, ds := range sum.Devices {
+		placed += reg.Get("fleet." + ds.Device + ".placed")
+		if got, want := reg.Get("serve."+ds.Device+".completions"), float64(ds.Summary.Total.Completed); got != want {
+			t.Errorf("serve.%s.completions = %v, want %v", ds.Device, got, want)
+		}
+	}
+	if want := float64(sum.Total.Offered); placed != want {
+		t.Errorf("sum of fleet.<device>.placed = %v, want %v", placed, want)
+	}
+}

@@ -121,7 +121,11 @@ func (f *Fleet) Summarize() *Summary {
 		sum.Caches = append(sum.Caches, *cs)
 	}
 
-	agg := serve.Summarize(all, f.cfg.Policy, sum.Pool, f.cfg.Objective)
+	summarize := serve.Summarize
+	if f.cfg.SketchMetrics {
+		summarize = serve.SummarizeSketch
+	}
+	agg := summarize(all, f.cfg.Policy, sum.Pool, f.cfg.Objective)
 	sum.DurationMs = agg.DurationMs
 	sum.Tenants = agg.Tenants
 	sum.Total = agg.Total

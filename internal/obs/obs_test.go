@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindArrive, Request: 1}) // must not panic
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer holds events")
+	}
+	if got := tr.CountByKind(); len(got) != 0 {
+		t.Errorf("nil tracer CountByKind = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil tracer WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Errorf("nil tracer WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("empty chrome trace does not parse: %v", err)
+	}
+}
+
+func sampleTracer() *Tracer {
+	tr := NewTracer()
+	tr.Emit(Event{AtMs: 0, Kind: KindArrive, Tenant: "alice", Network: "VGG19", Request: 0})
+	tr.Emit(Event{AtMs: 0, Kind: KindAdmit, Tenant: "alice", Request: 0, Value: 1})
+	tr.Emit(Event{AtMs: 5, Kind: KindMixForm, Device: "Orin", Request: NoRequest, Detail: "fifo", Value: 2})
+	tr.Emit(Event{AtMs: 5, DurMs: 30, Kind: KindDispatch, Device: "Orin", Request: NoRequest, Detail: "VGG19"})
+	tr.Emit(Event{AtMs: 35, Kind: KindComplete, Tenant: "alice", Device: "Orin", Request: 0, Value: 35})
+	tr.Emit(Event{AtMs: 40, Kind: KindPool, Request: NoRequest,
+		Metrics: map[string]float64{"active": 2, "backlog_ms": 17.5}})
+	return tr
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := sampleTracer()
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	counts := tr.CountByKind()
+	if counts[KindArrive] != 1 || counts[KindDispatch] != 1 || counts[KindPool] != 1 {
+		t.Errorf("CountByKind = %v", counts)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("JSONL lines = %d, want 6", len(lines))
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != KindArrive || first.Tenant != "alice" || first.Request != 0 {
+		t.Errorf("first JSONL event = %+v", first)
+	}
+	// Request 0 must round-trip (no omitempty on a valid ID), and
+	// NoRequest must be explicit.
+	var mixForm Event
+	if err := json.Unmarshal([]byte(lines[2]), &mixForm); err != nil {
+		t.Fatal(err)
+	}
+	if mixForm.Request != NoRequest {
+		t.Errorf("mix-form Request = %d, want %d", mixForm.Request, NoRequest)
+	}
+}
+
+func TestChromeTraceLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+
+	byPhase := map[string][]chromeEvent{}
+	for _, e := range trace.TraceEvents {
+		byPhase[e.Phase] = append(byPhase[e.Phase], e)
+	}
+	// Metadata: 2 process names + control thread + Orin + alice.
+	if len(byPhase["M"]) != 5 {
+		t.Errorf("metadata events = %d, want 5", len(byPhase["M"]))
+	}
+	if len(byPhase["X"]) != 1 || byPhase["X"][0].Name != KindDispatch {
+		t.Errorf("span events = %+v, want one dispatch", byPhase["X"])
+	}
+	if byPhase["X"][0].DurUs != 30000 || byPhase["X"][0].TsUs != 5000 {
+		t.Errorf("dispatch span ts/dur = %v/%v µs, want 5000/30000",
+			byPhase["X"][0].TsUs, byPhase["X"][0].DurUs)
+	}
+	if len(byPhase["C"]) != 1 || byPhase["C"][0].Args["active"] != 2.0 {
+		t.Errorf("counter events = %+v", byPhase["C"])
+	}
+	// Pool sample is control-scoped: device process, thread 0.
+	if c := byPhase["C"][0]; c.PID != devicePID || c.TID != controlTID {
+		t.Errorf("pool counter on pid/tid %d/%d, want %d/%d", c.PID, c.TID, devicePID, controlTID)
+	}
+	// Tenant-scoped events land on the tenant process; the complete event
+	// cross-references its device in args.
+	for _, e := range byPhase["i"] {
+		switch e.Name {
+		case KindArrive, KindAdmit, KindComplete:
+			if e.PID != tenantPID {
+				t.Errorf("%s on pid %d, want tenant pid %d", e.Name, e.PID, tenantPID)
+			}
+		case KindMixForm:
+			if e.PID != devicePID {
+				t.Errorf("mix-form on pid %d, want device pid %d", e.PID, devicePID)
+			}
+		}
+		if e.Name == KindComplete && e.Args["device"] != "Orin" {
+			t.Errorf("complete event args = %v, want device cross-ref", e.Args)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleTracer().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleTracer().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("chrome trace export is not byte-deterministic")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Add("x", 1) // must not panic
+	nilReg.Set("x", 1)
+	if nilReg.Get("x") != 0 || nilReg.Len() != 0 || nilReg.Snapshot() != nil {
+		t.Error("nil registry not inert")
+	}
+
+	r := NewRegistry()
+	r.Add("serve.Orin.cache_hits", 3)
+	r.Add("serve.Orin.cache_hits", 2)
+	r.Set("fleet.devices", 4)
+	if r.Get("serve.Orin.cache_hits") != 5 {
+		t.Errorf("Add accumulation: %v", r.Get("serve.Orin.cache_hits"))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "fleet.devices" || snap[1].Value != 5 {
+		t.Errorf("Snapshot = %+v (want sorted by name)", snap)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("metrics JSONL lines = %d, want 2", len(lines))
+	}
+	var m Metric
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "fleet.devices" || m.Value != 4 {
+		t.Errorf("first metric = %+v", m)
+	}
+}

@@ -1,0 +1,89 @@
+// Counter/gauge registry: named numeric metrics snapshot-able at end of
+// run, unifying the stack's scattered counters (cache hits, prepare
+// calls, solver nodes, busy-ms, backlog watermarks) under one namespace.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Metric is one named value in a registry snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Registry holds named counters and gauges. Like Tracer, a nil *Registry
+// is a valid no-op sink, so instrumented code fills metrics
+// unconditionally. Names are dotted paths ("serve.Orin.cache_hits",
+// "control.migrations") so snapshots group naturally.
+type Registry struct {
+	vals map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{vals: map[string]float64{}} }
+
+// Add increments the named metric by delta (creating it at zero).
+// No-op on a nil registry.
+func (r *Registry) Add(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.vals[name] += delta
+}
+
+// Set assigns the named metric (gauge semantics). No-op on a nil registry.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.vals[name] = v
+}
+
+// Get returns the named metric's value (0 if absent or nil registry).
+func (r *Registry) Get(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.vals[name]
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.vals)
+}
+
+// Snapshot returns the metrics sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.vals))
+	for name := range r.vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Metric, len(names))
+	for i, name := range names {
+		out[i] = Metric{Name: name, Value: r.vals[name]}
+	}
+	return out
+}
+
+// WriteJSONL writes the snapshot as JSON Lines, one metric per line,
+// sorted by name.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, m := range r.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"haxconn/internal/control"
 	"haxconn/internal/experiments"
 	"haxconn/internal/fleet"
+	"haxconn/internal/obs"
 	"haxconn/internal/profiler"
 	"haxconn/internal/serve"
 )
@@ -348,6 +349,22 @@ func Fig7CSV(w io.Writer, phases []experiments.Fig7Phase) error {
 			if err := c.row(i+1, float64(u.SolverTime.Microseconds()), u.LatencyMs, ph.BaselineMs, ph.OptimalMs); err != nil {
 				return err
 			}
+		}
+	}
+	return c.flush()
+}
+
+// MetricsCSV writes a registry snapshot as a two-column name,value table
+// (rows sorted by name — the registry's snapshot order), the spreadsheet
+// counterpart of obs.Registry.WriteJSONL.
+func MetricsCSV(w io.Writer, metrics []obs.Metric) error {
+	c := newCSV(w)
+	if err := c.row("metric", "value"); err != nil {
+		return err
+	}
+	for _, m := range metrics {
+		if err := c.row(m.Name, m.Value); err != nil {
+			return err
 		}
 	}
 	return c.flush()

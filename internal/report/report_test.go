@@ -11,6 +11,7 @@ import (
 	"haxconn/internal/control"
 	"haxconn/internal/experiments"
 	"haxconn/internal/fleet"
+	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 )
@@ -337,5 +338,32 @@ func TestControlComparisonCSV(t *testing.T) {
 	}
 	if recs[1][7] == recs[2][7] {
 		t.Errorf("device_ms identical for controlled and static: %v", recs[1][7])
+	}
+}
+
+func TestMetricsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	metrics := []obs.Metric{
+		{Name: "cache.Orin.hits", Value: 184},
+		{Name: "serve.Orin.clock_ms", Value: 1003.25},
+	}
+	if err := MetricsCSV(&buf, metrics); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want header + 2 rows", len(recs))
+	}
+	if recs[0][0] != "metric" || recs[0][1] != "value" {
+		t.Errorf("header: %v", recs[0])
+	}
+	if recs[1][0] != "cache.Orin.hits" || recs[1][1] != "184.0000" {
+		t.Errorf("first row: %v", recs[1])
+	}
+	if recs[2][1] != "1003.2500" {
+		t.Errorf("second row: %v", recs[2])
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"haxconn/internal/baselines"
 	"haxconn/internal/core"
+	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
 	"haxconn/internal/sim"
 	"haxconn/internal/soc"
@@ -79,10 +80,40 @@ type Cache struct {
 	entries  map[string]*Entry
 	probes   map[string]*Entry
 	probeErr map[string]error
+	tracer   *obs.Tracer
+	name     string
 
 	Hits     int
 	Misses   int
 	Upgrades int
+	// Probes counts fresh scoring characterizations (memoized re-probes
+	// excluded); Promotions counts probes a Lookup turned into live
+	// entries — the measure of how often speculative scoring work became
+	// serving value.
+	Probes     int
+	Promotions int
+}
+
+// AttachTracer wires cache-internal events (probe builds, probe
+// promotions, background solves) into a trace. Purely observational.
+func (c *Cache) AttachTracer(t *obs.Tracer) { c.tracer = t }
+
+// deviceLabel is the track a cache's events and metrics attribute to: the
+// owning runtime's (possibly per-comparison-leg) name for a private
+// cache, the platform name for a platform-shared cache.
+func (c *Cache) deviceLabel() string {
+	if c.name != "" {
+		return c.name
+	}
+	return c.cfg.Platform.Name
+}
+
+func (c *Cache) trace(e obs.Event) {
+	if c.tracer == nil {
+		return
+	}
+	e.Device = c.deviceLabel()
+	c.tracer.Emit(e)
 }
 
 // Entry is one cached mix: its characterization, the immediate naive
@@ -163,6 +194,7 @@ func (c *Cache) Rewind() {
 		e.lastSched = nil
 	}
 	c.Hits, c.Misses, c.Upgrades = 0, 0, 0
+	c.Probes, c.Promotions = 0, 0
 }
 
 // mixKey canonicalizes a workload mix into a cache key.
@@ -194,6 +226,8 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 	e, ok := c.probes[key]
 	if ok {
 		delete(c.probes, key)
+		c.Promotions++
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCachePromote, Request: obs.NoRequest, Detail: key})
 	} else {
 		var err error
 		e, err = c.build(key, canon, nowMs)
@@ -207,6 +241,8 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheSolve, Request: obs.NoRequest,
+			Detail: key, Value: float64(e.solverNodes())})
 	}
 	c.entries[key] = e
 	return e, false, nil
@@ -251,6 +287,9 @@ func (c *Cache) Probe(networks []string, nowMs float64) (*Entry, bool, error) {
 			return nil, false, err
 		}
 	}
+	c.Probes++
+	c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheProbe, Request: obs.NoRequest,
+		Detail: key, Value: float64(e.solverNodes())})
 	c.probes[key] = e
 	return e, false, nil
 }
@@ -286,6 +325,48 @@ func (c *Cache) build(key string, canon []string, nowMs float64) (*Entry, error)
 		cache:     c,
 		evals:     map[string]*schedule.Eval{},
 	}, nil
+}
+
+// solverNodes is the entry's background-solver work counter (0 when the
+// cache does not solve).
+func (e *Entry) solverNodes() int {
+	if e.Any == nil {
+		return 0
+	}
+	return e.Any.Stats.Nodes
+}
+
+// SolverNodes totals the background solver's deterministic work counter
+// over every live entry and scoring probe — the cache's share of the
+// solver-effort metric.
+func (c *Cache) SolverNodes() int {
+	total := 0
+	for _, e := range c.entries {
+		total += e.solverNodes()
+	}
+	for _, e := range c.probes {
+		total += e.solverNodes()
+	}
+	return total
+}
+
+// FillMetrics snapshots the cache's effectiveness counters into the
+// registry under the "cache.<platform>." namespace. Gauges (entry and
+// probe counts, solver nodes) use Set so runtimes sharing one cache do
+// not double-count them; the per-lookup counters use Add.
+func (c *Cache) FillMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "cache." + c.deviceLabel() + "."
+	reg.Set(p+"entries", float64(len(c.entries)))
+	reg.Set(p+"probes_live", float64(len(c.probes)))
+	reg.Set(p+"solver_nodes", float64(c.SolverNodes()))
+	reg.Set(p+"hits", float64(c.Hits))
+	reg.Set(p+"misses", float64(c.Misses))
+	reg.Set(p+"upgrades", float64(c.Upgrades))
+	reg.Set(p+"probes", float64(c.Probes))
+	reg.Set(p+"promotions", float64(c.Promotions))
 }
 
 // Use returns the schedule deployed for this entry at virtual time nowMs:

@@ -5,7 +5,10 @@
 // the serving contract, not the runtime's internals.
 package serve
 
-import "haxconn/internal/soc"
+import (
+	"haxconn/internal/obs"
+	"haxconn/internal/soc"
+)
 
 // Device is one serving endpoint in a fleet: it accepts arrivals (running
 // its own admission control), dispatches rounds in virtual time, and
@@ -67,6 +70,9 @@ type Device interface {
 	CacheCounters() (hits, misses, upgrades int)
 	// Summary folds the outcomes recorded so far into a serving summary.
 	Summary() *Summary
+	// FillMetrics snapshots the device's counters into the registry
+	// (no-op on nil) — the fleet aggregates every device's into one.
+	FillMetrics(reg *obs.Registry)
 	// Reset rewinds the device to a fresh virtual timeline, keeping the
 	// schedule cache warm.
 	Reset()

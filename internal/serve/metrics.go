@@ -6,6 +6,7 @@ package serve
 import (
 	"sort"
 
+	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
 )
 
@@ -143,4 +144,110 @@ func tenantStats(name string, cs []Completion, durationMs float64) TenantStats {
 		st.ThroughputRPS = 1000 * float64(st.Completed) / durationMs
 	}
 	return st
+}
+
+// tenantAcc is the streaming counterpart of tenantStats: one tenant's
+// outcomes folded into counters plus a fixed-size latency sketch, so
+// per-tenant metric memory is constant in the number of requests. Its
+// semantics mirror tenantStats observation-for-observation (network
+// labeling from the first completion, "mixed" on a differing one, mean
+// and max exact) — only the percentile columns carry the sketch's
+// relative-error bound.
+type tenantAcc struct {
+	network                                  string
+	offered, rejected, completed, violations int
+	sketch                                   *obs.Sketch
+}
+
+func newTenantAcc() *tenantAcc { return &tenantAcc{sketch: obs.NewSketch()} }
+
+func (a *tenantAcc) observe(c Completion) {
+	a.offered++
+	if a.network == "" {
+		a.network = c.Network
+	} else if a.network != c.Network {
+		a.network = "mixed"
+	}
+	if c.Rejected {
+		a.rejected++
+		return
+	}
+	a.completed++
+	a.sketch.Add(c.LatencyMs)
+	if c.Violated {
+		a.violations++
+	}
+}
+
+func (a *tenantAcc) stats(name string, durationMs float64) TenantStats {
+	st := TenantStats{Tenant: name, Network: a.network,
+		Offered: a.offered, Rejected: a.rejected, Completed: a.completed,
+		Violations: a.violations}
+	if a.completed == 0 {
+		return st
+	}
+	st.MeanMs = a.sketch.Mean()
+	st.P50Ms = a.sketch.Quantile(0.50)
+	st.P95Ms = a.sketch.Quantile(0.95)
+	st.P99Ms = a.sketch.Quantile(0.99)
+	st.MaxMs = a.sketch.Max()
+	st.ViolationRate = float64(a.violations) / float64(a.completed)
+	if durationMs > 0 {
+		st.ThroughputRPS = 1000 * float64(a.completed) / durationMs
+	}
+	return st
+}
+
+// streamStats accumulates a whole run's completions one at a time: one
+// tenantAcc per tenant plus the TOTAL row's, fed in processing order so
+// the streaming summary labels networks exactly as the batch path does.
+type streamStats struct {
+	tenants    map[string]*tenantAcc
+	total      *tenantAcc
+	durationMs float64
+}
+
+func newStreamStats() *streamStats {
+	return &streamStats{tenants: map[string]*tenantAcc{}, total: newTenantAcc()}
+}
+
+func (s *streamStats) observe(c Completion) {
+	a, ok := s.tenants[c.Tenant]
+	if !ok {
+		a = newTenantAcc()
+		s.tenants[c.Tenant] = a
+	}
+	a.observe(c)
+	s.total.observe(c)
+	if c.EndMs > s.durationMs {
+		s.durationMs = c.EndMs
+	}
+}
+
+func (s *streamStats) summarize(policy Policy, platform string, obj schedule.Objective) *Summary {
+	sum := &Summary{Policy: policy.String(), Platform: platform,
+		Objective: obj.String(), DurationMs: s.durationMs}
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sum.Tenants = append(sum.Tenants, s.tenants[name].stats(name, s.durationMs))
+	}
+	sum.Total = s.total.stats(totalName, s.durationMs)
+	return sum
+}
+
+// SummarizeSketch is the streaming-sketch counterpart of Summarize: same
+// folding, but percentiles come from a fixed-size quantile sketch instead
+// of sorted stored samples (counts, means and maxima stay exact). It is
+// what a Runtime with Config.SketchMetrics produces, exported so the
+// sketch-vs-exact tolerance can be tested on arbitrary completion sets.
+func SummarizeSketch(completions []Completion, policy Policy, platform string, obj schedule.Objective) *Summary {
+	acc := newStreamStats()
+	for _, c := range completions {
+		acc.observe(c)
+	}
+	return acc.summarize(policy, platform, obj)
 }

@@ -41,9 +41,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"haxconn/internal/core"
 	"haxconn/internal/nn"
+	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
 	"haxconn/internal/soc"
 )
@@ -145,6 +147,29 @@ type Config struct {
 	// a mix solved on one Orin warms every Orin. Its platform, objective
 	// and solve mode must match this runtime's configuration.
 	SharedCache *Cache
+	// AdaptiveMaxWait scales the starvation bound by the oldest eligible
+	// request's SLO slack: a request close to its deadline is forced into
+	// a batch after fewer passed-over rounds (down to one), while a
+	// slack-rich request waits the full MaxWaitRounds. Requests without
+	// SLOs always see the full bound.
+	AdaptiveMaxWait bool
+	// Tracer, when set, records request-lifecycle and dispatch events on
+	// the virtual timeline (see internal/obs). Tracing is strictly
+	// observational: a traced run produces byte-identical summaries to an
+	// untraced one. The tracer is shared by reference and survives Reset,
+	// so comparison drivers accumulate all legs into one trace.
+	Tracer *obs.Tracer
+	// SketchMetrics summarizes latencies with a streaming quantile sketch
+	// (O(1) memory per tenant) instead of storing and sorting every
+	// sample. Percentiles carry the sketch's documented relative-error
+	// bound (obs.DefaultSketchAccuracy); counts, means and maxima stay
+	// exact. Off by default: the exact path remains the byte-identical
+	// reference.
+	SketchMetrics bool
+	// Metrics, when set, receives the runtime's counters (rounds, cache
+	// effectiveness, prepare calls, queue watermarks) at the end of Serve
+	// via FillMetrics. Like Tracer, it is observational only.
+	Metrics *obs.Registry
 }
 
 // Runtime is the serving executor: admission controller, dispatcher and
@@ -173,6 +198,11 @@ type Runtime struct {
 	// cache's own counters aggregate over all devices in the group.
 	hits, misses, upgrades int
 	lastSched              map[string]*schedule.Schedule // last deployed schedule per mix key
+
+	// Observability state (see Config.Tracer/SketchMetrics/Metrics).
+	acc       *streamStats // streaming metric accumulator (sketch mode)
+	peakQueue int          // high watermark of the pending queue
+	forced    int          // starvation-bound forced dispatches
 }
 
 // New validates the configuration and builds a runtime with an empty
@@ -242,7 +272,16 @@ func New(cfg Config) (*Runtime, error) {
 			return nil, err
 		}
 	}
-	return &Runtime{
+	if cfg.Tracer != nil {
+		cache.AttachTracer(cfg.Tracer)
+	}
+	if cfg.SharedCache == nil {
+		// A private cache belongs to this runtime, so its events and
+		// metrics carry the runtime's (possibly per-comparison-leg)
+		// name; a shared cache keeps platform-level attribution.
+		cache.name = cfg.Name
+	}
+	rt := &Runtime{
 		cfg:        cfg,
 		cache:      cache,
 		former:     former,
@@ -251,7 +290,11 @@ func New(cfg Config) (*Runtime, error) {
 		prepErr:    map[string]error{},
 		queued:     map[string]int{},
 		lastSched:  map[string]*schedule.Schedule{},
-	}, nil
+	}
+	if cfg.SketchMetrics {
+		rt.acc = newStreamStats()
+	}
+	return rt, nil
 }
 
 // DefaultMaxWaitRounds is the starvation bound under non-FIFO mix
@@ -334,8 +377,47 @@ func (r *Runtime) Reset() {
 	r.rounds = 0
 	r.hits, r.misses, r.upgrades = 0, 0, 0
 	r.lastSched = map[string]*schedule.Schedule{}
+	r.peakQueue = 0
+	r.forced = 0
+	if r.cfg.SketchMetrics {
+		r.acc = newStreamStats()
+	}
 	if r.cfg.SharedCache == nil {
 		r.cache.Rewind()
+	}
+}
+
+// trace emits one event with the runtime's device label filled in; no-op
+// without a configured tracer.
+func (r *Runtime) trace(e obs.Event) {
+	if r.cfg.Tracer == nil {
+		return
+	}
+	e.Device = r.cfg.Name
+	r.cfg.Tracer.Emit(e)
+}
+
+// record registers one outcome: it appends the completion, feeds the
+// streaming accumulator, and emits the lifecycle event. Every completion
+// — served or rejected — flows through here.
+func (r *Runtime) record(c Completion) {
+	r.completions = append(r.completions, c)
+	if r.acc != nil {
+		r.acc.observe(c)
+	}
+	if r.cfg.Tracer == nil {
+		return
+	}
+	if c.Rejected {
+		r.trace(obs.Event{AtMs: math.Max(r.clockMs, c.ArrivalMs), Kind: obs.KindReject,
+			Tenant: c.Tenant, Network: c.Network, Request: c.ID, Detail: c.RejectReason})
+		return
+	}
+	r.trace(obs.Event{AtMs: c.EndMs, Kind: obs.KindComplete,
+		Tenant: c.Tenant, Network: c.Network, Request: c.ID, Value: c.LatencyMs})
+	if c.Violated {
+		r.trace(obs.Event{AtMs: c.EndMs, Kind: obs.KindViolate,
+			Tenant: c.Tenant, Network: c.Network, Request: c.ID, Value: c.LatencyMs - c.SLOMs})
 	}
 }
 
@@ -451,6 +533,8 @@ func (r *Runtime) batchScorer(cands []Candidate, startMs float64) BatchScorer {
 		if err != nil {
 			return BatchScore{}, false
 		}
+		r.trace(obs.Event{AtMs: startMs, Kind: obs.KindMixScore, Request: obs.NoRequest,
+			Detail: strings.Join(mix, "+"), Value: ev.MakespanMs})
 		ends := make([]float64, len(idx))
 		for k, pi := range perm {
 			ends[pi] = ev.Result.StreamEndMs[k]
@@ -594,17 +678,24 @@ func (r *Runtime) admit(req Request, nowMs float64) (string, error) {
 // be offered in nondecreasing arrival order.
 func (r *Runtime) Offer(req Request) (bool, error) {
 	now := math.Max(r.clockMs, req.ArrivalMs)
+	r.trace(obs.Event{AtMs: req.ArrivalMs, Kind: obs.KindArrive,
+		Tenant: req.Tenant, Network: req.Network, Request: req.ID})
 	reason, err := r.admit(req, now)
 	if err != nil {
 		return false, err
 	}
 	if reason != "" {
-		r.completions = append(r.completions, Completion{Request: req, Rejected: true, RejectReason: reason})
+		r.record(Completion{Request: req, Rejected: true, RejectReason: reason})
 		return true, nil
 	}
 	r.queued[req.Tenant]++
 	r.pending = append(r.pending, req)
 	r.waited = append(r.waited, 0)
+	if len(r.pending) > r.peakQueue {
+		r.peakQueue = len(r.pending)
+	}
+	r.trace(obs.Event{AtMs: now, Kind: obs.KindAdmit,
+		Tenant: req.Tenant, Network: req.Network, Request: req.ID, Value: float64(len(r.pending))})
 	return false, nil
 }
 
@@ -662,10 +753,24 @@ func (r *Runtime) Step() error {
 		in.Score = r.batchScorer(cands, start)
 	}
 	sel := r.former.Form(in)
-	picks, err := composeBatch(sel, cands, r.cfg.MaxBatch, r.maxWait())
+	bound := r.maxWait()
+	if r.cfg.AdaptiveMaxWait && len(cands) > 0 {
+		bound = adaptiveWaitBound(bound, cands[0], start)
+	}
+	if len(cands) > 0 && cands[0].WaitedRounds >= bound && !selectedIndex(sel, 0) {
+		// The starvation bound overrides the policy: the oldest eligible
+		// request is forced into this batch.
+		r.forced++
+		r.trace(obs.Event{AtMs: start, Kind: obs.KindForce,
+			Tenant: cands[0].Tenant, Network: cands[0].Network, Request: cands[0].ID,
+			Detail: r.former.Name(), Value: float64(cands[0].WaitedRounds)})
+	}
+	picks, err := composeBatch(sel, cands, r.cfg.MaxBatch, bound)
 	if err != nil {
 		return fmt.Errorf("serve: mix policy %s: %v", r.former.Name(), err)
 	}
+	r.trace(obs.Event{AtMs: start, Kind: obs.KindMixForm, Request: obs.NoRequest,
+		Detail: r.former.Name(), Value: float64(len(picks))})
 	n := len(picks)
 	batch := make([]Request, 0, n)
 	for _, i := range picks {
@@ -703,14 +808,17 @@ func (r *Runtime) Step() error {
 	}
 	if hit {
 		r.hits++
+		r.trace(obs.Event{AtMs: start, Kind: obs.KindCacheHit, Request: obs.NoRequest, Detail: entry.Key})
 	} else {
 		r.misses++
+		r.trace(obs.Event{AtMs: start, Kind: obs.KindCacheMiss, Request: obs.NoRequest, Detail: entry.Key})
 	}
 	s := entry.Naive
 	if r.cfg.Policy == ContentionAware {
 		s = entry.Use(start)
 		if prev, ok := r.lastSched[entry.Key]; ok && s != prev {
 			r.upgrades++
+			r.trace(obs.Event{AtMs: start, Kind: obs.KindUpgrade, Request: obs.NoRequest, Detail: entry.Key})
 		}
 		r.lastSched[entry.Key] = s
 	}
@@ -718,6 +826,8 @@ func (r *Runtime) Step() error {
 	if err != nil {
 		return err
 	}
+	r.trace(obs.Event{AtMs: start, DurMs: ev.MakespanMs, Kind: obs.KindDispatch,
+		Request: obs.NoRequest, Detail: entry.Key, Value: float64(n)})
 	for k, b := range batch {
 		end := start + ev.Result.StreamEndMs[k]
 		c := Completion{
@@ -729,7 +839,7 @@ func (r *Runtime) Step() error {
 		if b.SLOMs > 0 && c.LatencyMs > b.SLOMs {
 			c.Violated = true
 		}
-		r.completions = append(r.completions, c)
+		r.record(c)
 	}
 	r.clockMs = start + ev.MakespanMs
 	r.busyMs += ev.MakespanMs
@@ -737,9 +847,48 @@ func (r *Runtime) Step() error {
 	return nil
 }
 
-// Summary folds the outcomes recorded so far into a serving summary.
+// selectedIndex reports whether the policy's ranked selection contains
+// index i (selections are short — at most MaxBatch — so a scan is fine).
+func selectedIndex(sel []int, i int) bool {
+	for _, s := range sel {
+		if s == i {
+			return true
+		}
+	}
+	return false
+}
+
+// adaptiveWaitBound scales the starvation bound by the oldest eligible
+// request's remaining SLO slack at the round start: full slack (or no
+// SLO) keeps the configured bound, an expired deadline tightens it to one
+// round, and the bound interpolates linearly in between — so urgent
+// tenants stop waiting behind a policy's ranking sooner, without
+// collapsing relaxed traffic back to FIFO.
+func adaptiveWaitBound(maxWait int, oldest Candidate, startMs float64) int {
+	if oldest.SLOMs <= 0 {
+		return maxWait
+	}
+	frac := oldest.SlackMs(startMs) / oldest.SLOMs
+	switch {
+	case frac >= 1:
+		return maxWait
+	case frac <= 0:
+		return 1
+	default:
+		return 1 + int(frac*float64(maxWait-1))
+	}
+}
+
+// Summary folds the outcomes recorded so far into a serving summary. In
+// sketch mode (Config.SketchMetrics) the percentile columns come from the
+// streaming accumulator instead of stored samples.
 func (r *Runtime) Summary() *Summary {
-	sum := Summarize(r.completions, r.cfg.Policy, r.cfg.Platform.Name, r.cfg.Objective)
+	var sum *Summary
+	if r.acc != nil {
+		sum = r.acc.summarize(r.cfg.Policy, r.cfg.Platform.Name, r.cfg.Objective)
+	} else {
+		sum = Summarize(r.completions, r.cfg.Policy, r.cfg.Platform.Name, r.cfg.Objective)
+	}
 	sum.MixPolicy = r.former.Name()
 	sum.Rounds = r.rounds
 	sum.CacheHits, sum.CacheMisses, sum.CacheUpgrades = r.hits, r.misses, r.upgrades
@@ -776,7 +925,50 @@ func (r *Runtime) Serve(tr Trace) (*Summary, error) {
 			return nil, err
 		}
 	}
+	r.FillMetrics(r.cfg.Metrics)
 	return r.Summary(), nil
+}
+
+// FillMetrics snapshots the runtime's counters into the registry under
+// the "serve.<name>." namespace (plus the cache's own under
+// "cache.<platform>."). No-op on a nil registry. Counters use Add so a
+// comparison driver accumulating several legs with identical names sums
+// them; pass distinct Config.Name values to keep legs apart.
+func (r *Runtime) FillMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p := "serve." + r.cfg.Name + "."
+	reg.Add(p+"rounds", float64(r.rounds))
+	reg.Add(p+"busy_ms", r.busyMs)
+	reg.Set(p+"clock_ms", r.clockMs)
+	reg.Add(p+"completions", float64(len(r.completions)))
+	reg.Set(p+"queue_depth", float64(len(r.pending)))
+	reg.Set(p+"queue_peak", float64(r.peakQueue))
+	reg.Add(p+"cache_hits", float64(r.hits))
+	reg.Add(p+"cache_misses", float64(r.misses))
+	reg.Add(p+"cache_upgrades", float64(r.upgrades))
+	reg.Add(p+"prepare_calls", float64(r.prepares))
+	reg.Add(p+"forced_dispatches", float64(r.forced))
+	if r.former.Name() == MixContentionAware {
+		beam := r.cfg.ScoreBeam
+		if beam <= 0 {
+			beam = DefaultScoreBeam
+		}
+		reg.Set(p+"score_beam", float64(beam))
+	}
+	r.cache.FillMetrics(reg)
+}
+
+// legName is the base device label comparison drivers suffix per leg.
+func legName(cfg Config) string {
+	if cfg.Name != "" {
+		return cfg.Name
+	}
+	if cfg.Platform != nil {
+		return cfg.Platform.Name
+	}
+	return ""
 }
 
 // Comparison serves one trace under both policies.
@@ -792,6 +984,12 @@ func Compare(cfg Config, tr Trace) (*Comparison, error) {
 	for _, pol := range []Policy{ContentionAware, NaiveGPUOnly} {
 		c := cfg
 		c.Policy = pol
+		// Under a shared tracer the legs need distinct device tracks (and
+		// metric namespaces); Name never reaches the summary, so renaming
+		// is purely observational.
+		if c.Tracer != nil || c.Metrics != nil {
+			c.Name = legName(cfg) + "/" + pol.String()
+		}
 		rt, err := New(c)
 		if err != nil {
 			return nil, err
@@ -847,6 +1045,10 @@ func CompareMixes(cfg Config, tr Trace, policies ...string) (*MixComparison, err
 		c := cfg
 		c.MixPolicy = pol
 		c.Mix = nil
+		// Distinct per-leg tracks under a shared tracer, as in Compare.
+		if c.Tracer != nil || c.Metrics != nil {
+			c.Name = legName(cfg) + "/mix-" + MixPolicyName(pol)
+		}
 		rt, err := New(c)
 		if err != nil {
 			return nil, err
