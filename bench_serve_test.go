@@ -14,9 +14,14 @@ package haxconn
 
 import (
 	"testing"
+	"time"
 
+	"haxconn/internal/baselines"
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
 	"haxconn/internal/serve"
 	"haxconn/internal/soc"
+	"haxconn/internal/solver"
 )
 
 // serveBenchTrace is the canonical mixed-memory-demand trace
@@ -99,4 +104,80 @@ func BenchmarkServeStepsWall(b *testing.B) {
 		metrics["steps_per_sec_wall"] = float64(sum.Rounds*b.N) / elapsed
 	}
 	reportAndRecordServe(b, "BenchmarkServeStepsWall", metrics)
+}
+
+// BenchmarkSolverPortfolioWall races the parallel portfolio against each
+// complete engine standalone on the canonical four-network quartet (the
+// mixed-demand tenants' networks) and reports wall-clock to a proven
+// optimum. The deterministic legs — portfolio_cost equals the proven
+// optimum, and the merged incumbent count — gate at the strict tolerance:
+// the shared incumbent bound may change wall-clock only, never the
+// answer. The *_wall legs are host-dependent (the speedup over the best
+// single engine approaches the engine overlap on multicore hosts and
+// parity minus a few percent of barrier overhead when GOMAXPROCS=1) and
+// are gated by benchdiff's generous -wall-tolerance.
+func BenchmarkSolverPortfolioWall(b *testing.B) {
+	req := core.Request{
+		Platform:  soc.Orin(),
+		Networks:  []string{"SqueezeNet", "Inception", "ResNet152", "ResNet18"},
+		Objective: schedule.MinMaxLatency,
+		MaxGroups: 4, // keeps the SAT leg's full enumeration bench-sized
+	}
+	prob, pr, err := core.Prepare(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := core.Model(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := solver.Config{
+		Model: model,
+		Seeds: []*schedule.Schedule{baselines.NaiveConcurrent(pr), baselines.GPUOnly(pr)},
+	}
+	var (
+		pfMs, bbMs, satMs float64
+		pf                *solver.Anytime
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		pf, err = solver.OptimizePortfolio(prob, pr, cfg)
+		pfMs += time.Since(start).Seconds() * 1e3
+		if err != nil {
+			b.Fatal(err)
+		}
+		start = time.Now()
+		_, bbCost, _, err := solver.OptimizeBB(prob, pr, cfg)
+		bbMs += time.Since(start).Seconds() * 1e3
+		if err != nil {
+			b.Fatal(err)
+		}
+		start = time.Now()
+		_, _, _, err = solver.OptimizeSAT(prob, pr, cfg)
+		satMs += time.Since(start).Seconds() * 1e3
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pf.Cost > bbCost+1e-9 || pf.Cost < bbCost-1e-9 {
+			b.Fatalf("portfolio cost %.6f != proven optimum %.6f", pf.Cost, bbCost)
+		}
+	}
+	n := float64(b.N)
+	bestSingle := bbMs
+	if satMs < bestSingle {
+		bestSingle = satMs
+	}
+	metrics := map[string]float64{
+		"portfolio_ms_wall":    pfMs / n,
+		"bb_ms_wall":           bbMs / n,
+		"sat_ms_wall":          satMs / n,
+		"best_single_ms_wall":  bestSingle / n,
+		"portfolio_cost":       pf.Cost,
+		"portfolio_incumbents": float64(len(pf.History)),
+	}
+	if pfMs > 0 {
+		metrics["portfolio_speedup_wall"] = bestSingle / pfMs
+	}
+	reportAndRecordServe(b, "BenchmarkSolverPortfolioWall", metrics)
 }

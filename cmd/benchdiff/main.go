@@ -67,6 +67,11 @@ func main() {
 		}
 	}
 	failures := 0
+	type wallDelta struct {
+		bench, metric string
+		base, cur     float64
+	}
+	var walls []wallDelta
 	for _, bench := range sortedKeys(base.Benchmarks) {
 		bm := base.Benchmarks[bench]
 		cm, ok := cur.Benchmarks[bench]
@@ -85,6 +90,7 @@ func main() {
 			tol := *tolerance
 			if strings.HasSuffix(metric, "_wall") {
 				tol = *wallTol
+				walls = append(walls, wallDelta{bench, metric, bv, cv})
 			}
 			status := "ok"
 			if drift > tol {
@@ -93,6 +99,20 @@ func main() {
 			}
 			fmt.Printf("%-8s %s/%s: baseline %.4f, current %.4f (drift %.1f%%, tol %.0f%%)\n",
 				status, bench, metric, bv, cv, 100*drift, 100*tol)
+		}
+	}
+	// Wall-clock metrics move with host load and are gated generously
+	// above; a perf PR still wants the delta itself, so report it signed
+	// and in one place rather than buried in the gate lines.
+	if len(walls) > 0 {
+		fmt.Println("\nwall-clock deltas (signed; informational, gated only by -wall-tolerance):")
+		for _, w := range walls {
+			if w.base == 0 {
+				fmt.Printf("  %s/%s: baseline 0, current %.4f\n", w.bench, w.metric, w.cur)
+				continue
+			}
+			fmt.Printf("  %s/%s: %+.1f%% (baseline %.4f -> current %.4f)\n",
+				w.bench, w.metric, 100*(w.cur-w.base)/math.Abs(w.base), w.base, w.cur)
 		}
 	}
 	if failures > 0 {

@@ -6,7 +6,13 @@
 // in internal/serve, whose pluggable mix-forming dispatch (fifo,
 // demand-balance, slo-aware, contention-aware — the last scoring a beam
 // of candidate batches with the analytic contention model) decides which
-// networks co-run each round; internal/fleet extends mix-awareness above
+// networks co-run each round; internal/solver's parallel portfolio
+// (solver.OptimizePortfolio, the -portfolio flag on every serving CLI)
+// runs the branch & bound, SAT-enumeration and local-search engines
+// concurrently with a shared incumbent bound exchanged at deterministic
+// barrier rounds, merging their incumbent streams on the virtual node
+// clock so schedule-cache upgrades stay byte-identical run to run;
+// internal/fleet extends mix-awareness above
 // the device boundary with the mix-aware placement policy; internal/obs
 // adds deterministic observability — request-lifecycle tracing exported
 // as Perfetto-loadable Chrome trace JSON, streaming-sketch percentiles,

@@ -1,0 +1,31 @@
+package control
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestControlPortfolioDeterministic: the controlled fleet — scaling,
+// migration and cache seeding on top of portfolio-solved devices — must
+// stay byte-identically reproducible on the canonical burst trace.
+func TestControlPortfolioDeterministic(t *testing.T) {
+	tr := burstTrace(t, 1)
+	cfg := demoConfig()
+	cfg.Fleet.Portfolio = true
+	serveOnce := func() []byte {
+		t.Helper()
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, sum)
+	}
+	a, b := serveOnce(), serveOnce()
+	if !bytes.Equal(a, b) {
+		t.Errorf("portfolio controlled-fleet runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}

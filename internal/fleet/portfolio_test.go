@@ -1,0 +1,38 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFleetPortfolioDeterministic: a heterogeneous pool with every
+// device's background solves on the parallel portfolio must still produce
+// byte-identical fleet summaries run to run — the shared per-platform
+// caches replay the merged incumbent streams on the same deterministic
+// node clock as single-engine solving.
+func TestFleetPortfolioDeterministic(t *testing.T) {
+	tr := defaultTrace(t)
+	cfg := threeDeviceConfig()
+	cfg.Portfolio = true
+	serveOnce := func() []byte {
+		t.Helper()
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := serveOnce(), serveOnce()
+	if !bytes.Equal(a, b) {
+		t.Errorf("portfolio fleet runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}

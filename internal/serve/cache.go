@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"haxconn/internal/baselines"
@@ -43,6 +44,12 @@ type CacheConfig struct {
 	MaxGroups int
 	// TimeBudget bounds each background solve (0 = run to optimality).
 	TimeBudget time.Duration
+	// Portfolio solves misses and probes on the parallel solver portfolio
+	// (B&B + SAT + local search sharing an incumbent bound) instead of
+	// single-engine branch & bound. The merged incumbent stream replays on
+	// the same deterministic node clock, so upgrade timing stays
+	// byte-identical run to run.
+	Portfolio bool
 }
 
 // defaultSolverNodesPerMs approximates the measured B&B node rate on the
@@ -294,6 +301,91 @@ func (c *Cache) Probe(networks []string, nowMs float64) (*Entry, bool, error) {
 	return e, false, nil
 }
 
+// ProbeAll is Probe over a whole set of candidate mixes at once: the
+// contention-aware mix former scores its entire beam (plus lookahead
+// complements) per round, so the unseen mixes' characterizations and
+// speculative solves — the expensive, cache-independent work — run
+// concurrently across goroutines. All cache state is committed serially
+// in first-appearance order afterwards, so counters, trace events, map
+// contents and every returned entry match a serial Probe loop exactly:
+// concurrency changes wall-clock only, never a summary byte. Results
+// align with mixes; each slot carries either an entry or the same
+// (memoized) error Probe would return.
+func (c *Cache) ProbeAll(mixes [][]string, nowMs float64) ([]*Entry, []error) {
+	entries := make([]*Entry, len(mixes))
+	errs := make([]error, len(mixes))
+	type build struct {
+		key   string
+		canon []string
+		e     *Entry
+		err   error
+	}
+	var builds []*build
+	byKey := map[string]*build{}
+	for i, mix := range mixes {
+		if len(mix) == 0 {
+			errs[i] = fmt.Errorf("serve: empty workload mix")
+			continue
+		}
+		key, canon := c.mixKey(mix)
+		if e, ok := c.entries[key]; ok {
+			entries[i] = e
+			continue
+		}
+		if e, ok := c.probes[key]; ok {
+			entries[i] = e
+			continue
+		}
+		if err, ok := c.probeErr[key]; ok {
+			errs[i] = err
+			continue
+		}
+		if _, ok := byKey[key]; ok {
+			continue // duplicate of an earlier unseen mix; resolved below
+		}
+		b := &build{key: key, canon: canon}
+		byKey[key] = b
+		builds = append(builds, b)
+	}
+	if len(builds) > 0 {
+		var wg sync.WaitGroup
+		for _, b := range builds {
+			wg.Add(1)
+			go func(b *build) {
+				defer wg.Done()
+				e, err := c.build(b.key, b.canon, nowMs)
+				if err == nil && c.cfg.Solve {
+					e.Any, err = core.AnytimeFromProfile(c.request(b.canon), e.Prob, e.Profile)
+				}
+				b.e, b.err = e, err
+			}(b)
+		}
+		wg.Wait()
+		for _, b := range builds {
+			if b.err != nil {
+				c.probeErr[b.key] = b.err
+				continue
+			}
+			c.Probes++
+			c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheProbe, Request: obs.NoRequest,
+				Detail: b.key, Value: float64(b.e.solverNodes())})
+			c.probes[b.key] = b.e
+		}
+	}
+	for i, mix := range mixes {
+		if entries[i] != nil || errs[i] != nil {
+			continue
+		}
+		key, _ := c.mixKey(mix)
+		if e, ok := c.probes[key]; ok {
+			entries[i] = e
+		} else {
+			errs[i] = c.probeErr[key]
+		}
+	}
+	return entries, errs
+}
+
 // request is the core request resolving a canonical mix on this cache's
 // platform and objective.
 func (c *Cache) request(canon []string) core.Request {
@@ -303,6 +395,7 @@ func (c *Cache) request(canon []string) core.Request {
 		Objective:  c.cfg.Objective,
 		MaxGroups:  c.cfg.MaxGroups,
 		TimeBudget: c.cfg.TimeBudget,
+		Portfolio:  c.cfg.Portfolio,
 	}
 }
 

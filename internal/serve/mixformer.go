@@ -102,6 +102,14 @@ type BatchScore struct {
 // characterization failed); policies must fall back gracefully.
 type BatchScorer func(sel []int) (BatchScore, bool)
 
+// BatchScorerMany scores several candidate batches in one call, so the
+// scorer can run the expensive per-mix work (characterization, speculative
+// solves) for all unseen mixes concurrently instead of serially per
+// candidate. Results align with sels; a nil sel scores false. The outcome
+// per sel must be identical to calling a BatchScorer serially — bulk
+// scoring changes wall-clock, never a score.
+type BatchScorerMany func(sels [][]int) ([]BatchScore, []bool)
+
 // FormInput is one dispatch round's context.
 type FormInput struct {
 	// StartMs is the round's start on the virtual timeline.
@@ -115,6 +123,10 @@ type FormInput struct {
 	// wires it only for policies that declare ScoreAware — every other
 	// policy sees nil and must not depend on it.
 	Score BatchScorer
+	// ScoreMany, when wired, scores whole candidate sets at once (see
+	// BatchScorerMany); policies that score a beam prefer it over Score so
+	// unseen mixes probe concurrently.
+	ScoreMany BatchScorerMany
 }
 
 // MixFormer selects which eligible requests form a dispatch round.
@@ -268,7 +280,7 @@ func (p contentionAware) Form(in FormInput) []int {
 		return nil
 	}
 	fallback := DemandBalance().Form(in)
-	if in.Score == nil {
+	if in.Score == nil && in.ScoreMany == nil {
 		return fallback
 	}
 	// One-step lookahead: when the requests a batch defers all fit in the
@@ -280,20 +292,37 @@ func (p contentionAware) Form(in FormInput) []int {
 	// evaluations per candidate.
 	lookahead := len(in.Eligible) > n && len(in.Eligible) <= 2*n
 	candidates := p.candidates(in, n, fallback)
+	// Two scoring waves — the whole beam, then the scoreable candidates'
+	// leftovers — so a bulk scorer probes each wave's unseen mixes
+	// concurrently. The scores are identical to candidate-at-a-time
+	// serial scoring (a leftover is scored exactly when its candidate
+	// scored), only the wall-clock changes.
+	scores, oks := scoreBatches(in, candidates)
+	var (
+		rests   [][]int
+		rscores []BatchScore
+		roks    []bool
+	)
+	if lookahead {
+		rests = make([][]int, len(candidates))
+		for ci, sel := range candidates {
+			if oks[ci] {
+				rests[ci] = complement(sel, len(in.Eligible))
+			}
+		}
+		rscores, roks = scoreBatches(in, rests)
+	}
 	best, bestViol, bestMs := -1, 0, 0.0
 	for ci, sel := range candidates {
-		score, ok := in.Score(sel)
-		if !ok {
+		if !oks[ci] {
 			continue
 		}
+		score := scores[ci]
 		viol := predictedViolations(in, sel, score, 0)
 		span := score.MakespanMs
-		if lookahead {
-			rest := complement(sel, len(in.Eligible))
-			if rscore, ok := in.Score(rest); ok {
-				viol += predictedViolations(in, rest, rscore, score.MakespanMs)
-				span += rscore.MakespanMs
-			}
+		if lookahead && roks[ci] {
+			viol += predictedViolations(in, rests[ci], rscores[ci], score.MakespanMs)
+			span += rscores[ci].MakespanMs
 		}
 		if best < 0 || viol < bestViol || (viol == bestViol && span < bestMs) {
 			best, bestViol, bestMs = ci, viol, span
@@ -303,6 +332,23 @@ func (p contentionAware) Form(in FormInput) []int {
 		return fallback
 	}
 	return candidates[best]
+}
+
+// scoreBatches scores every non-nil sel: one bulk call when ScoreMany is
+// wired, a serial Score loop otherwise.
+func scoreBatches(in FormInput, sels [][]int) ([]BatchScore, []bool) {
+	if in.ScoreMany != nil {
+		return in.ScoreMany(sels)
+	}
+	scores := make([]BatchScore, len(sels))
+	oks := make([]bool, len(sels))
+	for i, sel := range sels {
+		if sel == nil {
+			continue
+		}
+		scores[i], oks[i] = in.Score(sel)
+	}
+	return scores, oks
 }
 
 // complement returns the ascending indices of [0, m) not in sel (sel is

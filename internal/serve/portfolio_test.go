@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"haxconn/internal/soc"
+)
+
+// TestProbeAllMatchesSerialProbe: ProbeAll's concurrent characterization
+// must be observationally identical to a serial Probe loop — same
+// entries, same Probes counter, same memoized errors — on a mix set with
+// duplicates, an already-probed mix, an empty mix and a failing mix.
+// Concurrency is allowed to change wall-clock only.
+func TestProbeAllMatchesSerialProbe(t *testing.T) {
+	newCache := func() *Cache {
+		t.Helper()
+		c, err := NewCache(CacheConfig{Platform: soc.Orin(), Solve: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mixes := [][]string{
+		{"VGG19", "ResNet152"},
+		{"ResNet152", "VGG19"}, // canonical duplicate of the first
+		{"ResNet18"},
+		nil,                    // empty mix: per-slot error
+		{"NoSuchNetwork"},      // build failure: memoized error
+		{"VGG19", "ResNet152"}, // duplicate again, resolved from the committed probe
+		{"NoSuchNetwork"},      // duplicate failure, resolved from probeErr
+	}
+
+	serial := newCache()
+	wantEntries := make([]*Entry, len(mixes))
+	wantErrs := make([]error, len(mixes))
+	for i, mix := range mixes {
+		wantEntries[i], _, wantErrs[i] = serial.Probe(mix, 0)
+	}
+
+	batch := newCache()
+	gotEntries, gotErrs := batch.ProbeAll(mixes, 0)
+
+	if batch.Probes != serial.Probes {
+		t.Errorf("ProbeAll counted %d probes, serial loop %d", batch.Probes, serial.Probes)
+	}
+	for i := range mixes {
+		if (wantErrs[i] == nil) != (gotErrs[i] == nil) {
+			t.Errorf("mix %d: serial err %v vs batch err %v", i, wantErrs[i], gotErrs[i])
+			continue
+		}
+		if wantErrs[i] != nil {
+			if wantErrs[i].Error() != gotErrs[i].Error() {
+				t.Errorf("mix %d: error text differs: %q vs %q", i, wantErrs[i], gotErrs[i])
+			}
+			continue
+		}
+		w, g := wantEntries[i], gotEntries[i]
+		if g == nil {
+			t.Errorf("mix %d: batch returned no entry", i)
+			continue
+		}
+		if w.Key != g.Key {
+			t.Errorf("mix %d: key %q vs %q", i, w.Key, g.Key)
+		}
+		if w.Any == nil || g.Any == nil {
+			t.Fatalf("mix %d: solving cache left a probe unsolved", i)
+		}
+		if w.Any.Cost != g.Any.Cost || len(w.Any.History) != len(g.Any.History) {
+			t.Errorf("mix %d: solve outcome differs: cost %.6f/%d incumbents vs %.6f/%d",
+				i, w.Any.Cost, len(w.Any.History), g.Any.Cost, len(g.Any.History))
+		}
+	}
+	// Duplicate slots must share one entry, exactly like repeated Probes do.
+	if gotEntries[0] != gotEntries[5] {
+		t.Error("duplicate mixes resolved to different entries")
+	}
+	if gotErrs[4] == nil || gotErrs[6] == nil || gotErrs[4].Error() != gotErrs[6].Error() {
+		t.Error("duplicate failing mixes must share the memoized error")
+	}
+}
+
+// TestServePortfolioDeterministic: with the portfolio solver behind the
+// cache, serving the same seeded trace twice on fresh runtimes (and a
+// regenerated copy) must still yield byte-identical summaries — the
+// merged incumbent stream replays on the same deterministic node clock
+// as single-engine branch & bound.
+func TestServePortfolioDeterministic(t *testing.T) {
+	serveOnce := func(tr Trace) []byte {
+		t.Helper()
+		rt, err := New(Config{Platform: soc.Orin(), SolverTimeScale: 50, Portfolio: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tr1, err := Generate(twoTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Generate(twoTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := serveOnce(tr1)
+	b := serveOnce(tr1)
+	c := serveOnce(tr2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("portfolio serving: same trace, fresh runtimes: summaries differ\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Equal(a, c) {
+		t.Errorf("portfolio serving: regenerated trace: summaries differ\n%s\nvs\n%s", a, c)
+	}
+	var sum Summary
+	if err := json.Unmarshal(a, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.CacheUpgrades == 0 {
+		t.Error("portfolio trace produced no cache upgrades; determinism check is vacuous")
+	}
+}
+
+// TestServePortfolioContentionAwareDeterministic drives the portfolio
+// through the contention-aware mix former — concurrent beam scoring
+// (ProbeAll + ScoreMany) on top of concurrent solving — and still
+// demands byte-identical summaries.
+func TestServePortfolioContentionAwareDeterministic(t *testing.T) {
+	tr, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveOnce := func() []byte {
+		t.Helper()
+		rt, err := New(Config{
+			Platform: soc.Orin(), SolverTimeScale: 50,
+			MixPolicy: MixContentionAware, Portfolio: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := rt.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := serveOnce(), serveOnce()
+	if !bytes.Equal(a, b) {
+		t.Errorf("portfolio + contention-aware mix forming not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSharedCachePortfolioMismatch: a runtime must refuse a shared cache
+// whose solving mode disagrees with its own — a portfolio runtime on a
+// B&B cache (or vice versa) would mix incumbent streams from different
+// engines behind one key space.
+func TestSharedCachePortfolioMismatch(t *testing.T) {
+	cache, err := NewCache(CacheConfig{Platform: soc.Orin(), Solve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Platform: soc.Orin(), SharedCache: cache, Portfolio: true}); err == nil {
+		t.Error("portfolio runtime accepted a non-portfolio shared cache")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"haxconn/internal/core"
 	"haxconn/internal/nn"
@@ -142,6 +143,13 @@ type Config struct {
 	SolverTimeScale float64
 	// MaxGroups caps layer groups per network (0 = nn.DefaultMaxGroups).
 	MaxGroups int
+	// Portfolio solves schedule-cache misses and scoring probes on the
+	// parallel solver portfolio — B&B, SAT enumeration and local search
+	// racing across goroutines with a shared incumbent bound — instead of
+	// single-engine branch & bound. The merged incumbent stream replays on
+	// the same deterministic node clock, so summaries stay byte-identical
+	// run to run; only solve wall-clock changes.
+	Portfolio bool
 	// SharedCache, when set, is used instead of a private schedule cache:
 	// a fleet shares one cache among all devices of the same platform, so
 	// a mix solved on one Orin warms every Orin. Its platform, objective
@@ -203,6 +211,14 @@ type Runtime struct {
 	acc       *streamStats // streaming metric accumulator (sketch mode)
 	peakQueue int          // high watermark of the pending queue
 	forced    int          // starvation-bound forced dispatches
+
+	// Per-round scratch buffers reused across Step calls. Step runs on one
+	// goroutine and nothing retains these slices past the round (cache keys
+	// and entries copy what they keep), so pooling them removes the
+	// dispatcher's three steady-state allocations per round.
+	candScratch  []Candidate
+	mixScratch   []string
+	batchScratch []Request
 }
 
 // New validates the configuration and builds a runtime with an empty
@@ -259,6 +275,9 @@ func New(cfg Config) (*Runtime, error) {
 		if cc.MaxGroups != cfg.MaxGroups {
 			return nil, fmt.Errorf("serve: shared cache max groups %d != runtime %d", cc.MaxGroups, cfg.MaxGroups)
 		}
+		if cc.Portfolio != cfg.Portfolio {
+			return nil, fmt.Errorf("serve: shared cache portfolio mode %v != runtime %v", cc.Portfolio, cfg.Portfolio)
+		}
 	} else {
 		var err error
 		cache, err = NewCache(CacheConfig{
@@ -267,6 +286,7 @@ func New(cfg Config) (*Runtime, error) {
 			Solve:           cfg.Policy == ContentionAware,
 			SolverTimeScale: cfg.SolverTimeScale,
 			MaxGroups:       cfg.MaxGroups,
+			Portfolio:       cfg.Portfolio,
 		})
 		if err != nil {
 			return nil, err
@@ -543,6 +563,96 @@ func (r *Runtime) batchScorer(cands []Candidate, startMs float64) BatchScorer {
 	}
 }
 
+// batchScorerMany is batchScorer over a whole candidate set at once: the
+// unseen mixes' characterizations and speculative solves run concurrently
+// (Cache.ProbeAll), and each distinct entry's deployable schedule is
+// evaluated on its own goroutine (Entry.Evaluate memoizes per entry, and
+// ProbeAll dedupes candidate mixes onto one entry, so no entry is touched
+// by two goroutines). Scores, cache counters and trace events are
+// identical to scoring each sel serially — results are assembled and
+// events emitted in sel order after the concurrent work joins.
+func (r *Runtime) batchScorerMany(cands []Candidate, startMs float64) BatchScorerMany {
+	return func(sels [][]int) ([]BatchScore, []bool) {
+		scores := make([]BatchScore, len(sels))
+		oks := make([]bool, len(sels))
+		idxs := make([][]int, len(sels))
+		perms := make([][]int, len(sels))
+		mixes := make([][]string, len(sels))
+		for i, sel := range sels {
+			if len(sel) == 0 {
+				continue
+			}
+			idx := append([]int(nil), sel...)
+			sort.Ints(idx)
+			perm := make([]int, len(idx))
+			for k := range perm {
+				perm[k] = k
+			}
+			sort.SliceStable(perm, func(a, b int) bool {
+				return cands[idx[perm[a]]].Network < cands[idx[perm[b]]].Network
+			})
+			mix := make([]string, len(idx))
+			for k, pi := range perm {
+				mix[k] = cands[idx[pi]].Network
+			}
+			idxs[i], perms[i], mixes[i] = idx, perm, mix
+		}
+		probeIn := make([][]string, 0, len(sels))
+		probePos := make([]int, 0, len(sels))
+		for i, mix := range mixes {
+			if mix != nil {
+				probeIn = append(probeIn, mix)
+				probePos = append(probePos, i)
+			}
+		}
+		entries, _ := r.cache.ProbeAll(probeIn, startMs)
+		type evalRes struct {
+			ev  *schedule.Eval
+			err error
+		}
+		evalFor := map[*Entry]*evalRes{}
+		var order []*Entry
+		for _, e := range entries {
+			if e != nil && evalFor[e] == nil {
+				evalFor[e] = &evalRes{}
+				order = append(order, e)
+			}
+		}
+		var wg sync.WaitGroup
+		for _, e := range order {
+			wg.Add(1)
+			go func(e *Entry, res *evalRes) {
+				defer wg.Done()
+				s := e.Naive
+				if r.cfg.Policy == ContentionAware {
+					s = e.Deployable(startMs)
+				}
+				res.ev, res.err = e.Evaluate(s)
+			}(e, evalFor[e])
+		}
+		wg.Wait()
+		for k, i := range probePos {
+			e := entries[k]
+			if e == nil {
+				continue
+			}
+			res := evalFor[e]
+			if res.err != nil {
+				continue
+			}
+			ev := res.ev
+			r.trace(obs.Event{AtMs: startMs, Kind: obs.KindMixScore, Request: obs.NoRequest,
+				Detail: strings.Join(mixes[i], "+"), Value: ev.MakespanMs})
+			ends := make([]float64, len(idxs[i]))
+			for k, pi := range perms[i] {
+				ends[pi] = ev.Result.StreamEndMs[k]
+			}
+			scores[i], oks[i] = BatchScore{MakespanMs: ev.MakespanMs, EndMs: ends}, true
+		}
+		return scores, oks
+	}
+}
+
 // scoreMix is the one scoring primitive both mix-aware layers share: the
 // ground-truth evaluation of the schedule this runtime would deploy for
 // the canonical mix at virtual time atMs — the cache entry's current
@@ -735,7 +845,10 @@ func (r *Runtime) Step() error {
 	if _, fifo := r.former.(fifoFormer); fifo && m > r.cfg.MaxBatch {
 		m = r.cfg.MaxBatch
 	}
-	cands := make([]Candidate, m)
+	if cap(r.candScratch) < m {
+		r.candScratch = make([]Candidate, m)
+	}
+	cands := r.candScratch[:m]
 	for i := 0; i < m; i++ {
 		cands[i] = Candidate{Request: r.pending[i], WaitedRounds: r.waited[i]}
 	}
@@ -751,6 +864,7 @@ func (r *Runtime) Step() error {
 	in := FormInput{StartMs: start, MaxBatch: r.cfg.MaxBatch, Eligible: cands}
 	if sa, ok := r.former.(scoreAware); ok && sa.ScoreAware() {
 		in.Score = r.batchScorer(cands, start)
+		in.ScoreMany = r.batchScorerMany(cands, start)
 	}
 	sel := r.former.Form(in)
 	bound := r.maxWait()
@@ -772,10 +886,11 @@ func (r *Runtime) Step() error {
 	r.trace(obs.Event{AtMs: start, Kind: obs.KindMixForm, Request: obs.NoRequest,
 		Detail: r.former.Name(), Value: float64(len(picks))})
 	n := len(picks)
-	batch := make([]Request, 0, n)
+	batch := r.batchScratch[:0]
 	for _, i := range picks {
 		batch = append(batch, r.pending[i])
 	}
+	r.batchScratch = batch
 	// Remove the batch from the queue (picks are in ascending queue
 	// order); every eligible request passed over ages one round.
 	keepReq, keepWait, pi := r.pending[:0], r.waited[:0], 0
@@ -798,10 +913,11 @@ func (r *Runtime) Step() error {
 	// Canonical mix order: by network name, FIFO among equals, so the
 	// batch maps 1:1 onto the cached problem's items.
 	sort.SliceStable(batch, func(i, j int) bool { return batch[i].Network < batch[j].Network })
-	mix := make([]string, n)
-	for k, b := range batch {
-		mix[k] = b.Network
+	mix := r.mixScratch[:0]
+	for _, b := range batch {
+		mix = append(mix, b.Network)
 	}
+	r.mixScratch = mix
 	entry, hit, err := r.cache.Lookup(mix, start)
 	if err != nil {
 		return err

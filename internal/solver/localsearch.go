@@ -35,14 +35,25 @@ func OptimizeLocal(prob *schedule.Problem, pr *schedule.Profile, cfg Config, res
 	for i := 0; i < nItems; i++ {
 		cands[i] = Candidates(pr, i, cfg.maxTransitions())
 	}
-	rng := rand.New(rand.NewSource(seed))
 
 	var (
 		best     *schedule.Schedule
 		bestCost = math.Inf(1)
 		st       Stats
+		stopped  bool
+		lastSync int
 	)
 	cost := func(chosen []int) (float64, error) {
+		if cfg.share != nil && st.Evals-lastSync >= portfolioSyncEvals {
+			lastSync = st.Evals
+			g, stop := cfg.share.sync(bestCost)
+			if g < bestCost {
+				bestCost = g
+			}
+			if stop {
+				stopped = true
+			}
+		}
 		st.Evals++
 		s := &schedule.Schedule{Assign: make([][]int, nItems)}
 		for i, c := range chosen {
@@ -77,7 +88,12 @@ func OptimizeLocal(prob *schedule.Problem, pr *schedule.Profile, cfg Config, res
 	}
 
 	chosen := make([]int, nItems)
-	for r := 0; r < restarts; r++ {
+	for r := 0; r < restarts && !stopped; r++ {
+		// Each restart draws its starting point from an independent
+		// source (seed + restart index): results are identical whether
+		// the restarts run serially here or spread across portfolio
+		// goroutines, and never depend on restart interleaving.
+		rng := rand.New(rand.NewSource(seed + int64(r)))
 		for i := range chosen {
 			chosen[i] = rng.Intn(len(cands[i]))
 		}
@@ -85,10 +101,10 @@ func OptimizeLocal(prob *schedule.Problem, pr *schedule.Profile, cfg Config, res
 		if err != nil {
 			return nil, 0, st, err
 		}
-		for improved := true; improved; {
+		for improved := true; improved && !stopped; {
 			improved = false
 			st.Nodes++
-			for i := 0; i < nItems; i++ {
+			for i := 0; i < nItems && !stopped; i++ {
 				orig := chosen[i]
 				for c := range cands[i] {
 					if c == orig {
@@ -109,9 +125,12 @@ func OptimizeLocal(prob *schedule.Problem, pr *schedule.Profile, cfg Config, res
 			}
 		}
 	}
-	st.Complete = true
+	st.Complete = !stopped
 	st.Elapsed = time.Since(start)
 	if best == nil {
+		if cfg.share != nil {
+			return nil, bestCost, st, nil
+		}
 		return nil, 0, st, fmt.Errorf("solver: local search produced no schedule")
 	}
 	return best, bestCost, st, nil

@@ -1,0 +1,271 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"haxconn/internal/schedule"
+)
+
+// The portfolio runs the three engines concurrently, exchanging incumbent
+// bounds at barrier rounds. Exchange points are pinned to each engine's own
+// deterministic work counters — never wall time — so the bound an engine
+// prunes with at its N-th evaluation is identical run to run, which keeps
+// every engine's incumbent stream (and therefore the merged Anytime replay
+// that serve.Cache upgrades depend on) byte-identical across runs.
+const (
+	// portfolioSyncEvals: engines submit their bound to the next barrier
+	// round every this many full-schedule evaluations. Evaluations cost
+	// roughly the same in the B&B and local-search engines, so rounds stay
+	// balanced and no engine stalls long at the barrier. The quota trades
+	// bound freshness against barrier overhead (condvar wakeups per
+	// round); 32 keeps exchange latency well under a millisecond while
+	// holding the portfolio's overhead over solo B&B to a few percent.
+	portfolioSyncEvals = 32
+	// portfolioSyncNodes additionally bounds barrier staleness for B&B
+	// stretches that prune without evaluating.
+	portfolioSyncNodes = 256
+	// portfolioSATStride: barrier rounds the SAT engine attends per model
+	// search. One SAT probe (Solve + cost + blocking clause) costs far
+	// more than one B&B or local-search evaluation, so at equal per-round
+	// quotas the whole portfolio would lock to SAT's pace and run slower
+	// than B&B alone. Attending every round but solving only each
+	// stride-th keeps the barrier advancing at the cheap engines' pace;
+	// the stride is a fixed constant, so SAT's trajectory stays a pure
+	// function of the round number.
+	portfolioSATStride = 8
+	// portfolioLocalRestarts/Seed fix the local-search leg so portfolio
+	// output is a pure function of the problem.
+	portfolioLocalRestarts = 4
+	portfolioLocalSeed     = 1
+)
+
+// share coordinates bound exchange between portfolio engines. Engines
+// arrive at barrier rounds via sync (blocking until every still-active
+// engine has arrived) and leave via done. A round commits the minimum of
+// all submitted bounds; engines only ever prune with the bound of the
+// last *committed* round, so the information each engine sees at each of
+// its own sync points does not depend on goroutine scheduling.
+type share struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	active  int // engines still running
+	arrived int // engines waiting on the gathering round
+	round   int // committed rounds so far
+
+	pending     float64 // min bound submitted to the gathering round
+	pendingStop bool    // an engine proved optimality during this round
+
+	bound float64 // committed global bound
+	stop  bool    // committed: optimality proven, wind down
+}
+
+func newShare(n int) *share {
+	s := &share{active: n, pending: math.Inf(1), bound: math.Inf(1)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *share) commitLocked() {
+	if s.pending < s.bound {
+		s.bound = s.pending
+	}
+	s.pending = math.Inf(1)
+	if s.pendingStop {
+		s.stop = true
+	}
+	s.round++
+	s.arrived = 0
+	s.cond.Broadcast()
+}
+
+// sync submits the engine's current bound to the gathering round and
+// blocks until the round commits. It returns the committed global bound
+// and whether the portfolio is stopping (another engine proved
+// optimality).
+func (s *share) sync(local float64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop {
+		return s.bound, true
+	}
+	if local < s.pending {
+		s.pending = local
+	}
+	s.arrived++
+	if s.arrived >= s.active {
+		s.commitLocked()
+		return s.bound, s.stop
+	}
+	target := s.round + 1
+	for s.round < target && !s.stop {
+		s.cond.Wait()
+	}
+	return s.bound, s.stop
+}
+
+// done removes an engine from the barrier, folding its final bound into
+// the round currently gathering. That round cannot commit without this
+// engine (every active engine participates in every round), so the fold
+// happens at the same round number in every run. proved marks a complete
+// search — the committed round then tells the remaining engines to stop.
+func (s *share) done(local float64, proved bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if local < s.pending {
+		s.pending = local
+	}
+	if proved {
+		s.pendingStop = true
+	}
+	s.active--
+	if s.arrived >= s.active {
+		s.commitLocked()
+	}
+}
+
+// EngineStats reports one portfolio engine's own search effort.
+type EngineStats struct {
+	Engine string  // "bb", "sat" or "local"
+	Cost   float64 // the engine's final bound (informed by the shared bound)
+	Stats  Stats
+}
+
+// OptimizePortfolio runs the branch & bound, SAT-enumeration and
+// local-search engines concurrently on the same problem, sharing a
+// best-so-far incumbent bound so each engine prunes with the others'
+// discoveries, and stopping every engine as soon as one of the complete
+// engines proves optimality. The per-engine incumbent streams are merged
+// into one Anytime history by a deterministic rule — per-engine node
+// counts with the engine index as tie-break — so replaying the merged
+// stream on the virtual node clock (Anytime.ScheduleAtNodes) reproduces
+// byte-identically run to run. A TimeBudget still applies to each engine
+// but, being wall time, forfeits that determinism; leave it zero on
+// serving paths.
+func OptimizePortfolio(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*Anytime, error) {
+	start := time.Now()
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("solver: nil contention model")
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+
+	type engineRun struct {
+		name   string
+		proves bool // a complete run proves optimality (B&B, SAT — not local search)
+		run    func(Config) (*schedule.Schedule, float64, Stats, error)
+	}
+	engines := []engineRun{
+		{"bb", true, func(c Config) (*schedule.Schedule, float64, Stats, error) {
+			return OptimizeBB(prob, pr, c)
+		}},
+		{"sat", true, func(c Config) (*schedule.Schedule, float64, Stats, error) {
+			return OptimizeSAT(prob, pr, c)
+		}},
+		{"local", false, func(c Config) (*schedule.Schedule, float64, Stats, error) {
+			return OptimizeLocal(prob, pr, c, portfolioLocalRestarts, portfolioLocalSeed)
+		}},
+	}
+
+	sh := newShare(len(engines))
+	type result struct {
+		hist []Incumbent
+		cost float64
+		st   Stats
+		err  error
+	}
+	results := make([]result, len(engines))
+	var wg sync.WaitGroup
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(i int, eng engineRun) {
+			defer wg.Done()
+			ecfg := cfg
+			ecfg.share = sh
+			var hist []Incumbent
+			ecfg.OnImprove = func(inc Incumbent) { hist = append(hist, inc) }
+			_, cost, st, err := eng.run(ecfg)
+			bound := math.Inf(1)
+			if err == nil {
+				bound = cost
+			}
+			sh.done(bound, err == nil && eng.proves && st.Complete)
+			results[i] = result{hist, cost, st, err}
+		}(i, eng)
+	}
+	wg.Wait()
+
+	var errs []error
+	for i, r := range results {
+		if r.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", engines[i].name, r.err))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("solver: portfolio: %w", errors.Join(errs...))
+	}
+
+	a := &Anytime{}
+	if len(cfg.Seeds) > 0 {
+		a.Seed = cfg.Seeds[0]
+	}
+
+	// Merge: order all incumbents by (engine node count, engine index) and
+	// keep the strictly improving prefix chain. Within one engine the
+	// stream is already strictly improving, so the stable sort fully
+	// determines the outcome.
+	type tagged struct {
+		inc Incumbent
+		eng int
+	}
+	var all []tagged
+	for e, r := range results {
+		for _, inc := range r.hist {
+			all = append(all, tagged{inc, e})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].inc.Nodes != all[j].inc.Nodes {
+			return all[i].inc.Nodes < all[j].inc.Nodes
+		}
+		return all[i].eng < all[j].eng
+	})
+	cur := math.Inf(1)
+	for _, t := range all {
+		if t.inc.Cost < cur {
+			cur = t.inc.Cost
+			a.History = append(a.History, t.inc)
+		}
+	}
+	if len(a.History) == 0 {
+		return nil, fmt.Errorf("solver: portfolio produced no schedule")
+	}
+	last := a.History[len(a.History)-1]
+	a.Best, a.Cost = last.Schedule, last.Cost
+
+	proved := false
+	for i, r := range results {
+		a.Stats.Nodes += r.st.Nodes
+		a.Stats.Evals += r.st.Evals
+		a.Stats.Pruned += r.st.Pruned
+		if engines[i].proves && r.st.Complete {
+			proved = true
+		}
+		a.Engines = append(a.Engines, EngineStats{Engine: engines[i].name, Cost: r.cost, Stats: r.st})
+	}
+	a.Stats.Complete = proved
+	a.Stats.Elapsed = time.Since(start)
+
+	if cfg.OnImprove != nil {
+		for _, inc := range a.History {
+			cfg.OnImprove(inc)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"reflect"
+	"testing"
+
+	"haxconn/internal/baselines"
+	"haxconn/internal/schedule"
+)
+
+// quartet is the canonical mixed-demand workload (serve.MixedDemandTenants'
+// networks). MaxGroups is held down so the SAT leg's full model enumeration
+// stays test-sized.
+func quartet(t *testing.T) (*schedule.Problem, *schedule.Profile, Config) {
+	t.Helper()
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 4, "SqueezeNet", "Inception", "ResNet152", "ResNet18")
+	cfg := Config{
+		Model: model(t, prob.Platform),
+		Seeds: []*schedule.Schedule{baselines.NaiveConcurrent(pr), baselines.GPUOnly(pr)},
+	}
+	return prob, pr, cfg
+}
+
+// TestPortfolioNeverWorseThanBestSingleEngine: on the canonical quartet the
+// merged portfolio cost must match or beat every engine run on its own —
+// the shared bound only prunes work, it never loses solutions.
+func TestPortfolioNeverWorseThanBestSingleEngine(t *testing.T) {
+	prob, pr, cfg := quartet(t)
+	a, err := OptimizePortfolio(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Stats.Complete {
+		t.Error("portfolio did not prove optimality on the quartet")
+	}
+	_, bb, _, err := OptimizeBB(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, satC, _, err := OptimizeSAT(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ls, _, err := OptimizeLocal(prob, pr, cfg, portfolioLocalRestarts, portfolioLocalSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, single := range map[string]float64{"bb": bb, "sat": satC, "local": ls} {
+		if a.Cost > single+1e-9 {
+			t.Errorf("portfolio cost %.6f worse than %s alone (%.6f)", a.Cost, name, single)
+		}
+	}
+	// B&B and SAT are complete engines: the portfolio must land exactly on
+	// the proven optimum.
+	if a.Cost < bb-1e-9 || a.Cost > bb+1e-9 {
+		t.Errorf("portfolio cost %.6f != proven optimum %.6f", a.Cost, bb)
+	}
+}
+
+// TestPortfolioDeterministic: at a fixed config the merged incumbent
+// stream — schedules, costs AND node counts — must be identical run to
+// run despite the engines racing on goroutines. serve.Cache replays this
+// stream on a virtual node clock, so any drift here would leak into
+// serving summaries.
+func TestPortfolioDeterministic(t *testing.T) {
+	prob, pr, cfg := quartet(t)
+	run := func() *Anytime {
+		a, err := OptimizePortfolio(prob, pr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := run(), run()
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history lengths differ across runs: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		x, y := a.History[i], b.History[i]
+		if x.Cost != y.Cost || x.Nodes != y.Nodes || !reflect.DeepEqual(x.Schedule.Assign, y.Schedule.Assign) {
+			t.Errorf("incumbent %d differs across runs: (%.6f @ %d, %v) vs (%.6f @ %d, %v)",
+				i, x.Cost, x.Nodes, x.Schedule.Assign, y.Cost, y.Nodes, y.Schedule.Assign)
+		}
+	}
+	if a.Stats.Nodes != b.Stats.Nodes || a.Stats.Evals != b.Stats.Evals || a.Stats.Pruned != b.Stats.Pruned {
+		t.Errorf("search effort differs across runs: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.Engines {
+		if a.Engines[i].Stats.Nodes != b.Engines[i].Stats.Nodes || a.Engines[i].Stats.Evals != b.Engines[i].Stats.Evals {
+			t.Errorf("engine %s effort differs across runs: %+v vs %+v",
+				a.Engines[i].Engine, a.Engines[i].Stats, b.Engines[i].Stats)
+		}
+	}
+}
+
+// TestPortfolioMergeShape: the merged history is the deterministic chain —
+// node counts non-decreasing, costs strictly improving, seeded at zero
+// nodes — that ScheduleAtNodes replays.
+func TestPortfolioMergeShape(t *testing.T) {
+	prob, pr, cfg := quartet(t)
+	a, err := OptimizePortfolio(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.History) == 0 {
+		t.Fatal("empty merged history")
+	}
+	if a.History[0].Nodes != 0 {
+		t.Errorf("seeded portfolio must start its stream at 0 nodes, got %d", a.History[0].Nodes)
+	}
+	for i := 1; i < len(a.History); i++ {
+		if a.History[i].Nodes < a.History[i-1].Nodes {
+			t.Errorf("merged nodes not monotone at %d: %d after %d", i, a.History[i].Nodes, a.History[i-1].Nodes)
+		}
+		if a.History[i].Cost >= a.History[i-1].Cost {
+			t.Errorf("merged costs not strictly improving at %d: %.6f after %.6f", i, a.History[i].Cost, a.History[i-1].Cost)
+		}
+	}
+	if a.Best == nil || a.Cost != a.History[len(a.History)-1].Cost {
+		t.Error("Best/Cost must mirror the last merged incumbent")
+	}
+	if got := a.ScheduleAtNodes(0); got == nil {
+		t.Error("seeded portfolio deploys nothing at zero nodes")
+	}
+	if a.Seed == nil {
+		t.Error("portfolio must record the configured seed")
+	}
+	if len(a.Engines) != 3 {
+		t.Errorf("expected 3 engine reports, got %d", len(a.Engines))
+	}
+}
+
+// TestPortfolioUnseeded: the portfolio also works without seeds (engines
+// record their first own evaluations) and still proves the optimum.
+func TestPortfolioUnseeded(t *testing.T) {
+	prob, pr := buildProblem(t, "Orin", schedule.MinMaxLatency, 4, "AlexNet", "ResNet18")
+	cfg := Config{Model: model(t, prob.Platform)}
+	a, err := OptimizePortfolio(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bb, _, err := OptimizeBB(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost > bb+1e-9 || a.Cost < bb-1e-9 {
+		t.Errorf("unseeded portfolio cost %.6f != optimum %.6f", a.Cost, bb)
+	}
+	if a.Seed != nil {
+		t.Error("unseeded run must not invent a seed")
+	}
+}

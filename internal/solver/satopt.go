@@ -150,7 +150,31 @@ func OptimizeSAT(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*sch
 		deadline = start.Add(cfg.TimeBudget)
 	}
 	st.Complete = true
-	for enc.s.Solve() == sat.Sat {
+	for {
+		// The deadline gates every Solve: one model search can overshoot
+		// a tight budget unboundedly, so checking only after the model is
+		// costed and blocked is not enough.
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			st.Complete = false
+			break
+		}
+		if cfg.share != nil {
+			stopped := false
+			for k := 0; k < portfolioSATStride && !stopped; k++ {
+				g, stop := cfg.share.sync(bestCost)
+				if g < bestCost {
+					bestCost = g
+				}
+				stopped = stop
+			}
+			if stopped {
+				st.Complete = false
+				break
+			}
+		}
+		if enc.s.Solve() != sat.Sat {
+			break
+		}
 		st.Nodes++
 		s := enc.decode()
 		if err := consider(s); err != nil {
@@ -159,13 +183,12 @@ func OptimizeSAT(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*sch
 		if err := enc.block(s); err != nil {
 			return nil, 0, st, err
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			st.Complete = false
-			break
-		}
 	}
 	st.Elapsed = time.Since(start)
 	if best == nil {
+		if cfg.share != nil {
+			return nil, bestCost, st, nil
+		}
 		return nil, 0, st, fmt.Errorf("solver: SAT search produced no schedule")
 	}
 	return best, bestCost, st, nil
@@ -180,6 +203,11 @@ type Anytime struct {
 	Best    *schedule.Schedule
 	Cost    float64
 	Stats   Stats
+	// Seed is the configured initial schedule (cfg.Seeds[0]), the fallback
+	// ScheduleAt/ScheduleAtNodes deploy before any incumbent has landed.
+	Seed *schedule.Schedule
+	// Engines reports per-engine effort for portfolio runs (nil otherwise).
+	Engines []EngineStats
 }
 
 // RunAnytime runs the branch & bound engine, capturing every incumbent.
@@ -187,6 +215,9 @@ type Anytime struct {
 // starts with.
 func RunAnytime(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*Anytime, error) {
 	a := &Anytime{}
+	if len(cfg.Seeds) > 0 {
+		a.Seed = cfg.Seeds[0]
+	}
 	prev := cfg.OnImprove
 	cfg.OnImprove = func(inc Incumbent) {
 		a.History = append(a.History, inc)
@@ -203,8 +234,10 @@ func RunAnytime(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*Anyt
 }
 
 // scheduleWhere returns the last incumbent satisfying the landed
-// predicate, falling back to the first incumbent (the deployable seed)
-// when none has landed yet.
+// predicate, falling back to the configured naive seed when none has
+// landed yet — an incumbent the solver has not yet found cannot be
+// deployed, so unseeded runs report nil until the first improvement
+// lands.
 func (a *Anytime) scheduleWhere(landed func(Incumbent) bool) *schedule.Schedule {
 	var cur *schedule.Schedule
 	for _, inc := range a.History {
@@ -212,8 +245,8 @@ func (a *Anytime) scheduleWhere(landed func(Incumbent) bool) *schedule.Schedule 
 			cur = inc.Schedule
 		}
 	}
-	if cur == nil && len(a.History) > 0 {
-		cur = a.History[0].Schedule
+	if cur == nil {
+		return a.Seed
 	}
 	return cur
 }
