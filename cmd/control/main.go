@@ -124,8 +124,9 @@ func main() {
 			AdaptiveMaxWait: *adaptWait,
 			SketchMetrics:   obsf.Sketch,
 			Tracer:          obsf.Tracer(),
+			Audit:           obsf.Audit(),
 		},
-		Metrics: obsf.Metrics(),
+		Metrics:           obsf.Metrics(),
 		TickMs:            *tick,
 		HighWatermarkMs:   *high,
 		LowWatermarkMs:    *low,

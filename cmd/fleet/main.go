@@ -144,6 +144,7 @@ func main() {
 		}
 		cfg.Placement = pl
 		cfg.Tracer = obsf.Tracer()
+		cfg.Audit = obsf.Audit()
 		f, err := fleet.New(cfg)
 		if err != nil {
 			fatalf("%v", err)
@@ -177,8 +178,8 @@ func main() {
 		if *cacheSave != "" || *cacheLoad != "" {
 			fatalf("-cache-save/-cache-load need -mode serve (compare builds its own fleets)")
 		}
-		if obsf.Tracing() || obsf.MetricsPath != "" {
-			fatalf("-trace/-trace-jsonl/-metrics-out need -mode serve (compare rebuilds identically named devices per leg, which would overlap in one trace)")
+		if obsf.Tracing() || obsf.MetricsPath != "" || obsf.AuditPath != "" {
+			fatalf("-trace/-trace-jsonl/-metrics-out/-audit-out need -mode serve (compare rebuilds identically named devices per leg, which would overlap in one trace or audit)")
 		}
 		cmp, err := fleet.Compare(cfg, tr)
 		if err != nil {

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"testing"
+
+	"haxconn/internal/obs"
+)
+
+// auditEvent builds one per-request audit event at the given dispatch
+// time with the four joined numbers the classifier reads.
+func auditEvent(device string, req int, atMs, pred, act, wait, slo float64) obs.Event {
+	return obs.Event{
+		AtMs: atMs, Kind: obs.KindAudit, Device: device, Request: req,
+		Detail: "m", Tenant: "t", Network: "n",
+		Metrics: map[string]float64{
+			"predicted_lat_ms": pred, "actual_lat_ms": act,
+			"queue_wait_ms": wait, "slo_ms": slo,
+		},
+	}
+}
+
+func violateEvent(device string, req int, atMs, overMs float64) obs.Event {
+	return obs.Event{AtMs: atMs, Kind: obs.KindViolate, Device: device,
+		Request: req, Tenant: "t", Network: "n", Value: overMs}
+}
+
+// TestClassifyRules pins the attribution precedence on synthetic
+// violations, one per class.
+func TestClassifyRules(t *testing.T) {
+	events := []obs.Event{
+		// Request 1: the model said 8 <= SLO 10, reality said 12 —
+		// mispredicted contention.
+		auditEvent("D", 1, 100, 8, 12, 2, 10),
+		violateEvent("D", 1, 112, 2),
+		// Request 2: predicted 14 > SLO 10, but without its 6 ms wait it
+		// would have fit — queue wait.
+		auditEvent("D", 2, 200, 14, 14, 6, 10),
+		violateEvent("D", 2, 214, 4),
+		// Request 3: predicted 14 > SLO 10 even net of a 1 ms wait —
+		// admission let a doomed request through.
+		auditEvent("D", 3, 300, 14, 14, 1, 10),
+		violateEvent("D", 3, 314, 4),
+		// Request 4: same shape as 3, but a force event shows the
+		// starvation bound put it in the round — forced dispatch wins.
+		{AtMs: 400, Kind: obs.KindForce, Device: "D", Request: 4, Value: 9},
+		auditEvent("D", 4, 400, 14, 14, 1, 10),
+		violateEvent("D", 4, 414, 4),
+		// Request 5: dispatched inside the scale-pressure window below —
+		// scale lag wins over the model-error rules.
+		{AtMs: 560, Kind: obs.KindAudit, Detail: "scale-lag", Request: obs.NoRequest,
+			Value: 2, Metrics: map[string]float64{"trip_ms": 500, "clear_ms": 560, "lag_ticks": 2}},
+		auditEvent("D", 5, 520, 8, 12, 2, 10),
+		violateEvent("D", 5, 532, 2),
+		// Request 6: a violation with no audit event cannot be attributed.
+		violateEvent("D", 6, 600, 1),
+	}
+	rep := Analyze(events, 0)
+	if rep.Violations != 6 {
+		t.Fatalf("Violations = %d, want 6", rep.Violations)
+	}
+	want := map[int]string{
+		1: ClassMispredicted,
+		2: ClassQueueWait,
+		3: ClassRejectedLate,
+		4: ClassForced,
+		5: ClassScaleLag,
+		6: ClassUnknown,
+	}
+	for _, row := range rep.Rows {
+		if row.Class != want[row.Request] {
+			t.Errorf("request %d classified %s, want %s", row.Request, row.Class, want[row.Request])
+		}
+	}
+	for class, n := range rep.Classes {
+		if n != 1 {
+			t.Errorf("class %s counted %d, want 1", class, n)
+		}
+	}
+}
+
+// TestClassifyJoinsOnDevice: the same request ID on another device (a
+// different compare leg) must not satisfy the join.
+func TestClassifyJoinsOnDevice(t *testing.T) {
+	events := []obs.Event{
+		auditEvent("Orin/naive", 7, 100, 8, 12, 2, 10),
+		violateEvent("Orin/aware", 7, 112, 2),
+	}
+	rep := Analyze(events, 0)
+	if got := rep.Rows[0].Class; got != ClassUnknown {
+		t.Errorf("cross-leg join classified %s, want unknown", got)
+	}
+}
+
+// TestClassifyOpenScaleWindow: a window that never resolved (clear -1)
+// covers every dispatch after its trip.
+func TestClassifyOpenScaleWindow(t *testing.T) {
+	events := []obs.Event{
+		{AtMs: 900, Kind: obs.KindAudit, Detail: "scale-lag", Request: obs.NoRequest,
+			Value: -1, Metrics: map[string]float64{"trip_ms": 700, "clear_ms": -1, "lag_ticks": -1}},
+		auditEvent("D", 8, 800, 8, 12, 2, 10),
+		violateEvent("D", 8, 812, 2),
+	}
+	rep := Analyze(events, 0)
+	if got := rep.Rows[0].Class; got != ClassScaleLag {
+		t.Errorf("dispatch inside an open window classified %s, want scale-lag", got)
+	}
+}
+
+// TestAnalyzeCalibrationRebuild: audit events re-aggregate into the same
+// (layer, scope, key) table the online audit computes — round pairs under
+// serve/mix, request pairs under tenant and network, place-fit under
+// fleet/device, scale-lag excluded.
+func TestAnalyzeCalibrationRebuild(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindAudit, Request: obs.NoRequest, Detail: "VGG19|MinLatency",
+			Metrics: map[string]float64{"predicted_ms": 9, "actual_ms": 10}},
+		auditEvent("D", 1, 100, 8, 12, 2, 10),
+		{Kind: obs.KindAudit, Device: "Orin/0", Tenant: "t", Network: "n", Request: 1,
+			Detail: "place-fit", Metrics: map[string]float64{"predicted_ms": 11, "actual_ms": 10}},
+		{Kind: obs.KindAudit, Detail: "scale-lag", Request: obs.NoRequest,
+			Metrics: map[string]float64{"trip_ms": 1, "clear_ms": 2, "lag_ticks": 1}},
+	}
+	rep := Analyze(events, 0)
+	got := map[string]int{}
+	for _, s := range rep.Calibration {
+		got[s.Layer+"/"+s.Scope+"/"+s.Key] = s.Count
+	}
+	want := map[string]int{
+		"serve/mix/VGG19|MinLatency": 1,
+		"serve/tenant/t":             1,
+		"serve/network/n":            1,
+		"fleet/device/Orin/0":        1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("calibration keys = %v, want %v", got, want)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s count = %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+// TestUtilizationBuckets: dispatch spans split proportionally across
+// window boundaries and devices stay separate.
+func TestUtilizationBuckets(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindDispatch, Device: "A", AtMs: 50, DurMs: 100}, // 50 in w0, 50 in w1
+		{Kind: obs.KindDispatch, Device: "A", AtMs: 160, DurMs: 20}, // 20 in w1
+		{Kind: obs.KindDispatch, Device: "B", AtMs: 210, DurMs: 40}, // 40 in w2
+	}
+	rows := utilization(events, 100)
+	busy := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if busy[r.Device] == nil {
+			busy[r.Device] = map[float64]float64{}
+		}
+		busy[r.Device][r.StartMs] = r.BusyMs
+	}
+	if busy["A"][0] != 50 || busy["A"][100] != 70 {
+		t.Errorf("device A buckets = %v", busy["A"])
+	}
+	if busy["B"][200] != 40 {
+		t.Errorf("device B buckets = %v", busy["B"])
+	}
+	// Device B's timeline still renders the empty leading windows.
+	if len(busy["B"]) != 3 {
+		t.Errorf("device B has %d windows, want 3 (zero-filled from 0)", len(busy["B"]))
+	}
+}
+
+// TestEngineAggregation: engine events group by the engine suffix of
+// Detail across solves, counting wins and proofs.
+func TestEngineAggregation(t *testing.T) {
+	mk := func(key string, nodes, winner, proof float64) obs.Event {
+		return obs.Event{Kind: obs.KindEngine, Request: obs.NoRequest, Detail: key,
+			Metrics: map[string]float64{"nodes": nodes, "evals": nodes, "incumbents": 1,
+				"winner": winner, "proof": proof, "barrier_rounds": 2}}
+	}
+	events := []obs.Event{
+		mk("VGG19+ResNet152|MinLatency:bb", 100, 1, 1),
+		mk("VGG19+ResNet152|MinLatency:sat", 0, 0, 0),
+		mk("VGG19|MinLatency:bb", 50, 0, 1),
+		mk("VGG19|MinLatency:local", 10, 1, 0),
+	}
+	rep := Analyze(events, 0)
+	got := map[string]EngineRow{}
+	for _, e := range rep.Engines {
+		got[e.Engine] = e
+	}
+	bb := got["bb"]
+	if bb.Solves != 2 || bb.Nodes != 150 || bb.Wins != 1 || bb.Proofs != 2 {
+		t.Errorf("bb row = %+v", bb)
+	}
+	if got["local"].Wins != 1 || got["sat"].Solves != 1 {
+		t.Errorf("engine rows = %v", got)
+	}
+}

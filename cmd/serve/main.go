@@ -116,6 +116,7 @@ func main() {
 		Tracer:          obsf.Tracer(),
 		SketchMetrics:   obsf.Sketch,
 		Metrics:         obsf.Metrics(),
+		Audit:           obsf.Audit(),
 	}
 	if cfg.Objective, err = cliutil.ParseObjective(*objective); err != nil {
 		fatalf("%v", err)
@@ -227,8 +228,8 @@ func compareMixesFrom(cfg serve.Config, tr serve.Trace, aware *serve.Summary) (*
 	// With observability on, skip the fifo-reuse shortcut: CompareMixes
 	// renames each leg so its events land on distinct trace tracks and its
 	// counters under distinct metric prefixes, which the hand-built legs
-	// below would not.
-	if cfg.Tracer != nil || cfg.Metrics != nil {
+	// below would not (and an attached audit should see every leg's pairs).
+	if cfg.Tracer != nil || cfg.Metrics != nil || cfg.Audit != nil {
 		return serve.CompareMixes(cfg, tr)
 	}
 	out := &serve.MixComparison{

@@ -28,18 +28,40 @@ import (
 // one SLO violation.
 const defaultStages = "arrive,admit,mix-form,mix-score,cache-hit,cache-miss,cache-probe,dispatch,complete,violate"
 
+// presets maps each layer's canonical demo to the stages it must emit:
+// serve is the lifecycle above plus the predicted-vs-actual audit pairs;
+// fleet (mix-aware placement, contention-aware mixes) adds placement;
+// control (burst demo) adds scale decisions and pool snapshots.
+var presets = map[string]string{
+	"serve":   defaultStages + ",audit",
+	"fleet":   "arrive,admit,place,mix-form,mix-score,cache-hit,dispatch,complete,violate,audit",
+	"control": "arrive,admit,place,scale,pool,mix-form,cache-hit,dispatch,complete,violate,audit",
+}
+
 func main() {
 	var (
 		tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate")
 		jsonlPath   = flag.String("jsonl", "", "trace JSONL file to validate")
 		metricsPath = flag.String("metrics", "", "metrics JSONL file to validate")
-		stages      = flag.String("stages", defaultStages, "comma-separated event kinds that must each appear at least once")
+		preset      = flag.String("preset", "", "stage preset for a layer's canonical demo: serve, fleet or control (overridden by -stages)")
+		stages      = flag.String("stages", "", "comma-separated event kinds that must each appear at least once (default: the serve lifecycle, or -preset's stages)")
 	)
 	flag.Parse()
 	if *tracePath == "" && *jsonlPath == "" && *metricsPath == "" {
 		fail("nothing to check: pass -trace, -jsonl and/or -metrics")
 	}
-	required := strings.Split(*stages, ",")
+	want := *stages
+	if want == "" {
+		want = defaultStages
+		if *preset != "" {
+			p, ok := presets[*preset]
+			if !ok {
+				fail("unknown -preset %q (want serve, fleet or control)", *preset)
+			}
+			want = p
+		}
+	}
+	required := strings.Split(want, ",")
 	if *tracePath != "" {
 		checkStages(*tracePath, chromeCounts(*tracePath), required)
 	}

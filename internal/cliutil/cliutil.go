@@ -223,18 +223,21 @@ func SaveFleetCaches(path string, f *fleet.Fleet) error {
 // ObsFlags bundles the serving commands' shared observability flags:
 // -trace (Chrome trace-event JSON for Perfetto), -trace-jsonl (the same
 // events as JSON Lines), -metrics-out (the counter registry, JSONL or
-// CSV by extension) and -sketch (streaming-quantile summaries). Register
-// installs them on a FlagSet; Tracer/Metrics return the sinks to wire
-// into a Config (nil when the matching flag is off, so untraced runs pay
+// CSV by extension), -audit-out (the predicted-vs-actual audit table as
+// CSV) and -sketch (streaming-quantile summaries). Register installs them
+// on a FlagSet; Tracer/Metrics/Audit return the sinks to wire into a
+// Config (nil when the matching flag is off, so untraced runs pay
 // nothing); WriteArtifacts writes whichever outputs were requested.
 type ObsFlags struct {
 	TracePath   string
 	JSONLPath   string
 	MetricsPath string
+	AuditPath   string
 	Sketch      bool
 
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	audit   *obs.Audit
 }
 
 // Register installs the observability flags on the command's FlagSet.
@@ -242,6 +245,7 @@ func (o *ObsFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.TracePath, "trace", "", "write Chrome trace-event JSON here (open in ui.perfetto.dev)")
 	fs.StringVar(&o.JSONLPath, "trace-jsonl", "", "write trace events as JSON Lines here")
 	fs.StringVar(&o.MetricsPath, "metrics-out", "", "write the metric registry here (.csv for CSV, else JSON Lines)")
+	fs.StringVar(&o.AuditPath, "audit-out", "", "write the predicted-vs-actual audit table here (CSV: bias, MAPE, calibration buckets)")
 	fs.BoolVar(&o.Sketch, "sketch", false, "streaming-quantile latency summaries (O(1) memory per tenant, ±0.5% percentiles)")
 }
 
@@ -270,6 +274,18 @@ func (o *ObsFlags) Metrics() *obs.Registry {
 		o.metrics = obs.NewRegistry()
 	}
 	return o.metrics
+}
+
+// Audit returns the shared prediction-audit sink, created on first use;
+// nil when no -audit-out was requested.
+func (o *ObsFlags) Audit() *obs.Audit {
+	if o.AuditPath == "" {
+		return nil
+	}
+	if o.audit == nil {
+		o.audit = obs.NewAudit()
+	}
+	return o.audit
 }
 
 // WriteArtifacts writes the requested observability outputs, reporting
@@ -301,11 +317,21 @@ func (o *ObsFlags) WriteArtifacts() error {
 	}
 	if o.MetricsPath != "" {
 		reg := o.Metrics()
+		// Audit aggregates fold into the registry snapshot too, so the
+		// metrics artifact carries the calibration headline numbers.
+		o.Audit().FillMetrics(reg)
 		fn := reg.WriteJSONL
 		if strings.HasSuffix(o.MetricsPath, ".csv") {
 			fn = func(w io.Writer) error { return report.MetricsCSV(w, reg.Snapshot()) }
 		}
 		if err := write(o.MetricsPath, "metrics", reg.Len(), fn); err != nil {
+			return err
+		}
+	}
+	if o.AuditPath != "" {
+		a := o.Audit()
+		fn := func(w io.Writer) error { return report.AuditCSV(w, a.Snapshot()) }
+		if err := write(o.AuditPath, "aggregates", a.Len(), fn); err != nil {
 			return err
 		}
 	}

@@ -238,6 +238,13 @@ type ScaleEvent struct {
 	Seeded int
 	// Mix is the mix-forming policy a "mix" action switched the device to.
 	Mix string
+	// ReactionTicks is the grow action's reaction lag: control ticks from
+	// the watermark trip that opened the pressure window to the tick both
+	// autoscaling signals fell back under their grow thresholds. -1 when
+	// the run ended with the window still open; 0 for non-grow actions.
+	// Every grow inside one pressure window reports the same lag — the lag
+	// measures the window, not the individual device add.
+	ReactionTicks int
 }
 
 // Migration is one sticky-assignment rebalance.
@@ -352,6 +359,19 @@ type run struct {
 	timeline   []PoolSample
 	seeded     int
 	peak       int
+
+	// Reaction-lag audit: a pressure window opens at the tick either
+	// autoscaling signal first trips its grow threshold and closes at the
+	// first tick both are back under it. Tracked unconditionally — the
+	// window annotates every grow event's ReactionTicks, with or without an
+	// audit or tracer attached.
+	tickNo         int
+	windowOpen     bool
+	windowTripMs   float64
+	windowTripTick int
+	lagOpen        []int // indices into events of grows inside the open window
+	lagTotal       int   // summed reaction lag over closed windows
+	lagWindows     int   // closed windows
 }
 
 // logScale records one scale event and mirrors it into the trace.
@@ -443,6 +463,7 @@ func (r *run) serve(tr serve.Trace) (*Summary, error) {
 // tick runs one control period: ingest completions into the tenant
 // windows, retire drained devices, autoscale, then migrate.
 func (r *run) tick(nowMs float64) error {
+	r.tickNo++
 	r.ingest()
 	r.retire(nowMs)
 	r.sample(nowMs)
@@ -667,8 +688,9 @@ func (r *run) autoscale(nowMs float64) error {
 	if err != nil {
 		return err
 	}
+	tripped := p > r.cfg.HighWatermarkMs || r.lastUtilPct > r.cfg.GrowUtilizationPct
 	switch {
-	case p > r.cfg.HighWatermarkMs || r.lastUtilPct > r.cfg.GrowUtilizationPct:
+	case tripped:
 		r.hiStreak++
 		r.loStreak = 0
 	case p < r.cfg.LowWatermarkMs && r.lastUtilPct < r.cfg.ShrinkUtilizationPct:
@@ -676,6 +698,15 @@ func (r *run) autoscale(nowMs float64) error {
 		r.hiStreak = 0
 	default:
 		r.hiStreak, r.loStreak = 0, 0
+	}
+	// Pressure-window bookkeeping for the reaction-lag audit. The window
+	// outlives the hysteresis streak (grows reset hiStreak but not the
+	// window): it spans trip to backlog-cleared, the lag the controlled-
+	// violation count is paid in.
+	if tripped && !r.windowOpen {
+		r.windowOpen, r.windowTripMs, r.windowTripTick = true, nowMs, r.tickNo
+	} else if !tripped && r.windowOpen {
+		r.closeWindow(nowMs)
 	}
 	if r.cooldown > 0 {
 		r.cooldown--
@@ -689,6 +720,33 @@ func (r *run) autoscale(nowMs float64) error {
 		r.shrink(nowMs, p)
 	}
 	return nil
+}
+
+// closeWindow resolves the open pressure window at the first tick both
+// autoscaling signals are back under their grow thresholds: every grow
+// event inside the window gets the window's reaction lag, the audit
+// records the (trip, clear) pair — its signed bias is minus the mean
+// reaction lag in virtual ms — and the trace gets one "scale-lag" audit
+// event.
+func (r *run) closeWindow(nowMs float64) {
+	lag := r.tickNo - r.windowTripTick
+	for _, ei := range r.lagOpen {
+		r.events[ei].ReactionTicks = lag
+	}
+	r.lagOpen = r.lagOpen[:0]
+	r.windowOpen = false
+	r.lagTotal += lag
+	r.lagWindows++
+	r.cfg.Fleet.Audit.Observe("control", "scale", "reaction-lag", r.windowTripMs, nowMs)
+	if t := r.cfg.Fleet.Tracer; t != nil {
+		t.Emit(obs.Event{AtMs: nowMs, Kind: obs.KindAudit, Request: obs.NoRequest,
+			Detail: "scale-lag", Value: float64(lag),
+			Metrics: map[string]float64{
+				"trip_ms":   r.windowTripMs,
+				"clear_ms":  nowMs,
+				"lag_ticks": float64(lag),
+			}})
+	}
 }
 
 // grow adds the next platform in the growth cycle and, when it brings an
@@ -723,6 +781,9 @@ func (r *run) grow(nowMs, pressureMs float64) error {
 		AtMs: nowMs, Action: "grow", Device: d.Name(), Platform: d.Platform().Name,
 		Active: r.active(), BacklogMs: pressureMs, Seeded: seeded,
 	})
+	if r.windowOpen {
+		r.lagOpen = append(r.lagOpen, len(r.events)-1)
+	}
 	return nil
 }
 
@@ -931,6 +992,25 @@ func (r *run) shrink(nowMs, pressureMs float64) {
 func (r *run) summarize() *Summary {
 	fs := r.fleet.Summarize()
 	endMs := fs.DurationMs
+	if r.windowOpen {
+		// The run ended under pressure: the window never cleared, so its
+		// grows report -1 and the trace's closing audit event carries a -1
+		// lag instead of a clear time.
+		for _, ei := range r.lagOpen {
+			r.events[ei].ReactionTicks = -1
+		}
+		r.lagOpen = r.lagOpen[:0]
+		r.windowOpen = false
+		if t := r.cfg.Fleet.Tracer; t != nil {
+			t.Emit(obs.Event{AtMs: endMs, Kind: obs.KindAudit, Request: obs.NoRequest,
+				Detail: "scale-lag", Value: -1,
+				Metrics: map[string]float64{
+					"trip_ms":   r.windowTripMs,
+					"clear_ms":  -1,
+					"lag_ticks": -1,
+				}})
+		}
+	}
 	sum := &Summary{
 		Fleet:         fs,
 		TickMs:        r.cfg.TickMs,
@@ -959,6 +1039,8 @@ func (r *run) summarize() *Summary {
 		reg.Set("control.final_devices", float64(r.active()))
 		reg.Set("control.seeded_entries", float64(r.seeded))
 		reg.Set("control.device_ms", sum.DeviceMs)
+		reg.Set("control.reaction_windows", float64(r.lagWindows))
+		reg.Set("control.reaction_lag_ticks", float64(r.lagTotal))
 	}
 	return sum
 }

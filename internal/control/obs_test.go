@@ -51,6 +51,110 @@ func TestControlTracingNoPerturbation(t *testing.T) {
 	}
 }
 
+// TestControlAuditNoPerturbation: the reaction-lag audit must be strictly
+// observational — byte-identical summaries (including every ScaleEvent's
+// ReactionTicks, which are computed unconditionally) with and without an
+// audit attached.
+func TestControlAuditNoPerturbation(t *testing.T) {
+	tr := burstTrace(t, 1)
+	run := func(audit *obs.Audit) []byte {
+		t.Helper()
+		cfg := demoConfig()
+		cfg.Fleet.Audit = audit
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, sum)
+	}
+	plain := run(nil)
+	audit := obs.NewAudit()
+	if got := run(audit); !bytes.Equal(plain, got) {
+		t.Errorf("auditing changed the control summary:\n%s\nvs\n%s", plain, got)
+	}
+	if audit.Len() == 0 {
+		t.Fatal("burst demo opened no reaction windows; no-perturbation check is vacuous")
+	}
+}
+
+// TestControlReactionTicks: the burst demo must trip at least one
+// pressure window, every grow inside a resolved window must report a
+// positive reaction lag, non-grow decisions must report zero, and the
+// audit's control/scale aggregate must count one pair per resolved
+// window with a non-positive bias (clear never precedes trip).
+func TestControlReactionTicks(t *testing.T) {
+	tr := burstTrace(t, 1)
+	cfg := demoConfig()
+	cfg.Fleet.Audit = obs.NewAudit()
+	cfg.Fleet.Tracer = obs.NewTracer()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grows, lagged := 0, 0
+	for _, e := range sum.Scale {
+		if e.Action != "grow" {
+			if e.ReactionTicks != 0 {
+				t.Errorf("%s decision at %.0f ms has ReactionTicks %d, want 0", e.Action, e.AtMs, e.ReactionTicks)
+			}
+			continue
+		}
+		grows++
+		switch {
+		case e.ReactionTicks > 0:
+			lagged++
+		case e.ReactionTicks == 0:
+			t.Errorf("grow at %.0f ms has ReactionTicks 0: grows happen only inside a window", e.AtMs)
+		}
+	}
+	if grows == 0 || lagged == 0 {
+		t.Fatalf("burst demo produced %d grows, %d with resolved lag; reaction-lag check is vacuous", grows, lagged)
+	}
+
+	windows := 0
+	for _, e := range cfg.Fleet.Tracer.Events() {
+		if e.Kind != obs.KindAudit || e.Detail != "scale-lag" {
+			continue
+		}
+		windows++
+		if lag := e.Metrics["lag_ticks"]; lag >= 0 {
+			if e.Metrics["clear_ms"] < e.Metrics["trip_ms"] {
+				t.Errorf("scale-lag window clears at %.0f before tripping at %.0f", e.Metrics["clear_ms"], e.Metrics["trip_ms"])
+			}
+			if lag < 1 {
+				t.Errorf("resolved scale-lag window with lag %v ticks, want >= 1", lag)
+			}
+		}
+	}
+	if windows == 0 {
+		t.Fatal("no scale-lag events for a demo that grew")
+	}
+	for _, s := range cfg.Fleet.Audit.Snapshot() {
+		if s.Layer != "control" {
+			continue
+		}
+		if s.Scope != "scale" || s.Key != "reaction-lag" {
+			t.Errorf("unexpected control aggregate %s/%s", s.Scope, s.Key)
+			continue
+		}
+		if s.Count == 0 || s.Count > windows {
+			t.Errorf("reaction-lag pairs = %d, want within (0, %d]", s.Count, windows)
+		}
+		// The pair is (trip, clear): bias = mean(trip - clear) <= 0.
+		if s.BiasMs > 0 {
+			t.Errorf("reaction-lag bias %.2f ms > 0: a window cleared before it tripped", s.BiasMs)
+		}
+	}
+}
+
 // TestControlCompareTracesControlledLegOnly: in compare mode only the
 // controlled leg may write to the trace — the static baseline rebuilds
 // identically named devices, which would overlap on the same tracks.

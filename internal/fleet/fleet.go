@@ -101,6 +101,13 @@ type Config struct {
 	// SketchMetrics summarizes per-device and fleet latencies with the
 	// streaming quantile sketch; see serve.Config.SketchMetrics.
 	SketchMetrics bool
+	// Audit, when set, streams predicted-vs-actual pairs: every device's
+	// dispatch-round and per-request predictions (see serve.Config.Audit)
+	// plus the fleet's own placement-decision audit — the mix-aware
+	// placer's predicted fit (MixFitMs) against the realized makespan of
+	// the dispatch round that served the request. Strictly observational;
+	// Compare clears it on its comparison legs alongside the tracer.
+	Audit *obs.Audit
 }
 
 // Fleet is the dispatcher: a device pool, a placement policy, and the
@@ -116,6 +123,13 @@ type Fleet struct {
 	draining    []bool                  // no new placements; finishing in-flight work
 	removed     []bool                  // retired: no placements, no steps
 	perPlatform map[string]int          // per-platform naming counter
+
+	// Placement-decision audit state (only populated when Audit or Tracer
+	// is set): the mix-aware placer's predicted fit per request ID, and a
+	// per-device cursor over Completions so repeated Summarize calls
+	// observe each realized round exactly once.
+	mixFitPred  map[int]float64
+	auditCursor []int
 }
 
 // New validates the configuration and builds the pool. Devices are named
@@ -211,6 +225,7 @@ func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 		AdaptiveMaxWait: f.cfg.AdaptiveMaxWait,
 		Tracer:          f.cfg.Tracer,
 		SketchMetrics:   f.cfg.SketchMetrics,
+		Audit:           f.cfg.Audit,
 	})
 	if err != nil {
 		return nil, err
@@ -220,6 +235,7 @@ func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 	f.placed = append(f.placed, 0)
 	f.draining = append(f.draining, false)
 	f.removed = append(f.removed, false)
+	f.auditCursor = append(f.auditCursor, 0)
 	return rt, nil
 }
 
@@ -360,6 +376,20 @@ func (f *Fleet) Offer(req serve.Request) (int, bool, error) {
 			Device: f.devices[j].Name(), Tenant: req.Tenant, Network: req.Network,
 			Request: req.ID, Detail: f.placer.Name()})
 	}
+	if f.cfg.Audit != nil || f.cfg.Tracer != nil {
+		// Decision audit: remember the mix-aware placer's predicted fit for
+		// the chosen device so Summarize can pair it with the realized
+		// makespan of the round that eventually serves this request.
+		for _, v := range views {
+			if v.Index == j && v.MixFitMs > 0 {
+				if f.mixFitPred == nil {
+					f.mixFitPred = map[int]float64{}
+				}
+				f.mixFitPred[req.ID] = v.MixFitMs
+				break
+			}
+		}
+	}
 	rejected, err := f.devices[j].Offer(req)
 	if err != nil {
 		return -1, false, err
@@ -417,6 +447,42 @@ func (f *Fleet) Rewind() {
 		c.Rewind()
 	}
 	f.placer.Reset()
+	f.mixFitPred = nil
+	for i := range f.auditCursor {
+		f.auditCursor[i] = 0
+	}
+}
+
+// auditPlacements pairs each newly recorded completion's realized round
+// makespan with the mix-aware placer's predicted fit captured at Offer,
+// streaming the pairs into the audit and the trace. Per-device cursors make
+// the scan incremental, so repeated Summarize calls observe each completion
+// once. Strictly observational: summaries are assembled from the same
+// completions whether or not an audit or tracer is attached.
+func (f *Fleet) auditPlacements() {
+	if (f.cfg.Audit == nil && f.cfg.Tracer == nil) || len(f.mixFitPred) == 0 {
+		return
+	}
+	for i, d := range f.devices {
+		cs := d.Completions()
+		for _, c := range cs[f.auditCursor[i]:] {
+			pred, ok := f.mixFitPred[c.ID]
+			if !ok || c.RoundMakespanMs <= 0 {
+				continue
+			}
+			f.cfg.Audit.Observe("fleet", "device", d.Name(), pred, c.RoundMakespanMs)
+			if f.cfg.Tracer != nil {
+				f.cfg.Tracer.Emit(obs.Event{AtMs: c.EndMs, Kind: obs.KindAudit,
+					Device: d.Name(), Tenant: c.Tenant, Network: c.Network,
+					Request: c.ID, Detail: "place-fit", Value: pred - c.RoundMakespanMs,
+					Metrics: map[string]float64{
+						"predicted_ms": pred,
+						"actual_ms":    c.RoundMakespanMs,
+					}})
+			}
+		}
+		f.auditCursor[i] = len(cs)
+	}
 }
 
 // FillMetrics snapshots every device's counters plus the fleet's
@@ -524,9 +590,11 @@ func Compare(cfg Config, tr serve.Trace, placements ...Placer) (*Comparison, err
 		c := cfg
 		c.Placement = pl
 		// Each leg builds identically-named devices; one shared tracer
-		// would interleave their tracks indistinguishably. Trace a single
-		// fleet run instead of a comparison.
+		// would interleave their tracks indistinguishably (and one shared
+		// audit would merge their per-device aggregates). Trace or audit a
+		// single fleet run instead of a comparison.
 		c.Tracer = nil
+		c.Audit = nil
 		fl, err := New(c)
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"haxconn/internal/obs"
+	"haxconn/internal/serve"
 )
 
 // TestFleetTracingNoPerturbation: a traced fleet run must produce a
@@ -57,6 +58,122 @@ func TestFleetTracingNoPerturbation(t *testing.T) {
 		if !names[want] {
 			t.Errorf("no place events on %s (got devices %v)", want, names)
 		}
+	}
+}
+
+// TestFleetAuditNoPerturbation: the placement-decision audit must be
+// strictly observational — byte-identical summaries with and without it,
+// under the mix-aware placer whose MixFitMs predictions it records.
+func TestFleetAuditNoPerturbation(t *testing.T) {
+	tr := defaultTrace(t)
+	run := func(audit *obs.Audit) []byte {
+		t.Helper()
+		cfg := threeDeviceConfig()
+		cfg.Placement = MixAware()
+		cfg.MixPolicy = serve.MixContentionAware
+		cfg.Audit = audit
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := f.Serve(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain := run(nil)
+	audit := obs.NewAudit()
+	if got := run(audit); !bytes.Equal(plain, got) {
+		t.Errorf("auditing changed the fleet summary:\n%s\nvs\n%s", plain, got)
+	}
+	if audit.Len() == 0 {
+		t.Fatal("audit saw no pairs; no-perturbation check is vacuous")
+	}
+}
+
+// TestFleetPlaceFitAudit: under a mix-aware placer every completion whose
+// placement carried a MixFitMs prediction must yield exactly one
+// place-fit pair — in the audit's fleet/device aggregates and as a trace
+// event with both sides of the comparison — and re-summarizing must not
+// double-count.
+func TestFleetPlaceFitAudit(t *testing.T) {
+	tr := defaultTrace(t)
+	cfg := threeDeviceConfig()
+	cfg.Placement = MixAware()
+	cfg.MixPolicy = serve.MixContentionAware
+	cfg.Audit = obs.NewAudit()
+	cfg.Tracer = obs.NewTracer()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := f.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placeFit := 0
+	for _, e := range cfg.Tracer.Events() {
+		if e.Kind != obs.KindAudit || e.Detail != "place-fit" {
+			continue
+		}
+		placeFit++
+		if e.Metrics["predicted_ms"] <= 0 || e.Metrics["actual_ms"] <= 0 {
+			t.Fatalf("place-fit event with non-positive sides: %+v", e)
+		}
+		if e.Device == "" || e.Request < 0 {
+			t.Fatalf("place-fit event missing identity: %+v", e)
+		}
+	}
+	if placeFit == 0 {
+		t.Fatal("no place-fit events under a mix-aware placer")
+	}
+	if placeFit > sum.Total.Completed {
+		t.Errorf("place-fit events = %d, more than %d completions", placeFit, sum.Total.Completed)
+	}
+	total := 0
+	for _, s := range cfg.Audit.Snapshot() {
+		if s.Layer == "fleet" && s.Scope == "device" {
+			total += s.Count
+		}
+	}
+	if total != placeFit {
+		t.Errorf("fleet/device aggregate pairs = %d, want %d (one per place-fit event)", total, placeFit)
+	}
+	// Summarize is incremental over device completions: calling it again
+	// must observe nothing new.
+	f.Summarize()
+	again := 0
+	for _, s := range cfg.Audit.Snapshot() {
+		if s.Layer == "fleet" && s.Scope == "device" {
+			again += s.Count
+		}
+	}
+	if again != total {
+		t.Errorf("re-summarizing grew the audit: %d -> %d pairs", total, again)
+	}
+}
+
+// TestFleetCompareClearsSinks: fleet.Compare rebuilds identically named
+// devices per leg, so it must strip both the tracer and the audit from
+// every leg rather than interleave them.
+func TestFleetCompareClearsSinks(t *testing.T) {
+	tr := defaultTrace(t)
+	cfg := threeDeviceConfig()
+	cfg.Tracer = obs.NewTracer()
+	cfg.Audit = obs.NewAudit()
+	if _, err := Compare(cfg, tr, RoundRobin(), LeastLoaded()); err != nil {
+		t.Fatal(err)
+	}
+	if n := cfg.Tracer.Len(); n != 0 {
+		t.Errorf("Compare leaked %d events into the shared tracer", n)
+	}
+	if n := cfg.Audit.Len(); n != 0 {
+		t.Errorf("Compare leaked %d aggregates into the shared audit", n)
 	}
 }
 

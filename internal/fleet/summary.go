@@ -70,6 +70,7 @@ type Summary struct {
 // so far. Serve calls it at end of trace; a control plane may also call it
 // after driving the fleet through the stepping primitives itself.
 func (f *Fleet) Summarize() *Summary {
+	f.auditPlacements()
 	sum := &Summary{
 		Placement: f.placer.Name(),
 		Policy:    f.cfg.Policy.String(),

@@ -1,0 +1,180 @@
+// Forensics audit: streaming (predicted, actual) aggregates that quantify
+// how well the analytic contention model's predictions track ground truth.
+// The serving stack optimizes, places and scales on model *predictions*;
+// Audit is the layer that measures those predictions against what the
+// ground-truth simulator actually executed — per tenant, per network, per
+// mix, per device — without ever feeding back into a decision.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Calibration buckets classify each (predicted, actual) pair by the ratio
+// predicted/actual: a well-calibrated model concentrates mass in the
+// middle bucket, systematic under-prediction (optimism about contention)
+// piles up on the left, over-prediction on the right.
+const NumCalibrationBuckets = 5
+
+// CalibrationLabels names the buckets, in Buckets index order.
+var CalibrationLabels = [NumCalibrationBuckets]string{
+	"<0.80", "0.80-0.95", "0.95-1.05", "1.05-1.25", ">=1.25",
+}
+
+// calibrationEdges are the upper ratio bounds of buckets 0..3.
+var calibrationEdges = [NumCalibrationBuckets - 1]float64{0.80, 0.95, 1.05, 1.25}
+
+// CalibrationBucket returns the bucket index for one pair. Degenerate
+// actuals (<= 0) fall into the middle bucket when the prediction agrees
+// and the extremes when it does not, so no pair is ever dropped.
+func CalibrationBucket(predictedMs, actualMs float64) int {
+	if actualMs <= 0 {
+		switch {
+		case predictedMs <= 0:
+			return NumCalibrationBuckets / 2
+		default:
+			return NumCalibrationBuckets - 1
+		}
+	}
+	ratio := predictedMs / actualMs
+	for i, edge := range calibrationEdges {
+		if ratio < edge {
+			return i
+		}
+	}
+	return NumCalibrationBuckets - 1
+}
+
+// AuditStat is one aggregate's snapshot: the error statistics of every
+// (predicted, actual) pair observed under one (layer, scope, key).
+type AuditStat struct {
+	// Layer is the emitting layer ("serve", "fleet", "control").
+	Layer string `json:"layer"`
+	// Scope is the aggregation dimension ("mix", "tenant", "network",
+	// "device").
+	Scope string `json:"scope"`
+	// Key is the value within the scope (the mix key, the tenant name...).
+	Key string `json:"key"`
+	// Count is the number of pairs observed.
+	Count int `json:"count"`
+	// MeanPredictedMs and MeanActualMs are the per-side means.
+	MeanPredictedMs float64 `json:"mean_predicted_ms"`
+	MeanActualMs    float64 `json:"mean_actual_ms"`
+	// BiasMs is the mean signed error (predicted - actual): negative means
+	// the model under-predicts (optimistic about contention).
+	BiasMs float64 `json:"bias_ms"`
+	// MAPEPct is the mean absolute percentage error over pairs with a
+	// positive actual, in percent.
+	MAPEPct float64 `json:"mape_pct"`
+	// Buckets is the calibration histogram (see CalibrationLabels).
+	Buckets [NumCalibrationBuckets]int `json:"buckets"`
+}
+
+// auditAgg is the streaming accumulator behind one AuditStat.
+type auditAgg struct {
+	layer, scope, key string
+	count, mapeCount  int
+	sumPred, sumAct   float64
+	sumErr, sumAbsPct float64
+	buckets           [NumCalibrationBuckets]int
+}
+
+// Audit streams (predicted, actual) pairs into per-(layer, scope, key)
+// error aggregates: signed bias, MAPE and calibration buckets, all O(1)
+// memory per key. Like Tracer and Registry, a nil *Audit is a valid no-op
+// sink — every method is nil-safe — and auditing is strictly
+// observational: a run produces byte-identical summaries with an audit
+// attached or not.
+type Audit struct {
+	aggs map[string]*auditAgg
+}
+
+// NewAudit returns an empty audit.
+func NewAudit() *Audit { return &Audit{aggs: map[string]*auditAgg{}} }
+
+// Observe streams one (predicted, actual) pair into the (layer, scope,
+// key) aggregate. No-op on a nil audit.
+func (a *Audit) Observe(layer, scope, key string, predictedMs, actualMs float64) {
+	if a == nil {
+		return
+	}
+	id := layer + "\x00" + scope + "\x00" + key
+	agg := a.aggs[id]
+	if agg == nil {
+		agg = &auditAgg{layer: layer, scope: scope, key: key}
+		a.aggs[id] = agg
+	}
+	agg.count++
+	agg.sumPred += predictedMs
+	agg.sumAct += actualMs
+	agg.sumErr += predictedMs - actualMs
+	if actualMs > 0 {
+		agg.mapeCount++
+		agg.sumAbsPct += math.Abs(predictedMs-actualMs) / actualMs * 100
+	}
+	agg.buckets[CalibrationBucket(predictedMs, actualMs)]++
+}
+
+// Len returns the number of live aggregates (0 on a nil audit).
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.aggs)
+}
+
+// Snapshot returns the aggregates sorted by (layer, scope, key) — a
+// deterministic order, so repeated snapshots of the same run render
+// byte-identically.
+func (a *Audit) Snapshot() []AuditStat {
+	if a == nil {
+		return nil
+	}
+	out := make([]AuditStat, 0, len(a.aggs))
+	for _, agg := range a.aggs {
+		s := AuditStat{
+			Layer:   agg.layer,
+			Scope:   agg.scope,
+			Key:     agg.key,
+			Count:   agg.count,
+			Buckets: agg.buckets,
+		}
+		if agg.count > 0 {
+			n := float64(agg.count)
+			s.MeanPredictedMs = agg.sumPred / n
+			s.MeanActualMs = agg.sumAct / n
+			s.BiasMs = agg.sumErr / n
+		}
+		if agg.mapeCount > 0 {
+			s.MAPEPct = agg.sumAbsPct / float64(agg.mapeCount)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Layer != out[j].Layer {
+			return out[i].Layer < out[j].Layer
+		}
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// FillMetrics exports the aggregates into the registry under the
+// "audit.<layer>.<scope>.<key>." namespace (count, bias_ms, mape_pct).
+// No-op on a nil audit or registry.
+func (a *Audit) FillMetrics(reg *Registry) {
+	if a == nil || reg == nil {
+		return
+	}
+	for _, s := range a.Snapshot() {
+		p := fmt.Sprintf("audit.%s.%s.%s.", s.Layer, s.Scope, s.Key)
+		reg.Set(p+"count", float64(s.Count))
+		reg.Set(p+"bias_ms", s.BiasMs)
+		reg.Set(p+"mape_pct", s.MAPEPct)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestAuditAggregates: the streaming aggregates must reproduce the closed
+// forms — per-side means, signed bias, MAPE over positive actuals only —
+// and the buckets must partition the pairs.
+func TestAuditAggregates(t *testing.T) {
+	a := NewAudit()
+	// Three pairs: exact, 20% under-prediction, 50% over-prediction.
+	a.Observe("serve", "tenant", "alice", 10, 10)
+	a.Observe("serve", "tenant", "alice", 8, 10)
+	a.Observe("serve", "tenant", "alice", 15, 10)
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+	s := a.Snapshot()[0]
+	if s.Layer != "serve" || s.Scope != "tenant" || s.Key != "alice" {
+		t.Fatalf("snapshot identity = %s/%s/%s", s.Layer, s.Scope, s.Key)
+	}
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3", s.Count)
+	}
+	if want := 11.0; s.MeanPredictedMs != want {
+		t.Errorf("MeanPredictedMs = %v, want %v", s.MeanPredictedMs, want)
+	}
+	if want := 10.0; s.MeanActualMs != want {
+		t.Errorf("MeanActualMs = %v, want %v", s.MeanActualMs, want)
+	}
+	if want := 1.0; s.BiasMs != want { // (0 - 2 + 5) / 3
+		t.Errorf("BiasMs = %v, want %v", s.BiasMs, want)
+	}
+	if want := (0.0 + 20 + 50) / 3; s.MAPEPct != want {
+		t.Errorf("MAPEPct = %v, want %v", s.MAPEPct, want)
+	}
+	total := 0
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Errorf("buckets sum to %d, want Count %d", total, s.Count)
+	}
+	// Ratio 1.0 -> middle; 0.8 -> "0.80-0.95"; 1.5 -> ">=1.25".
+	if s.Buckets[2] != 1 || s.Buckets[1] != 1 || s.Buckets[4] != 1 {
+		t.Errorf("buckets = %v, want one pair each in 1, 2 and 4", s.Buckets)
+	}
+}
+
+// TestAuditMAPESkipsZeroActuals: pairs with a non-positive actual count
+// toward bias and buckets but not toward MAPE, which would divide by zero.
+func TestAuditMAPESkipsZeroActuals(t *testing.T) {
+	a := NewAudit()
+	a.Observe("serve", "mix", "m", 5, 0)
+	a.Observe("serve", "mix", "m", 12, 10)
+	s := a.Snapshot()[0]
+	if s.Count != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count)
+	}
+	if want := 20.0; s.MAPEPct != want {
+		t.Errorf("MAPEPct = %v, want %v (zero-actual pair excluded)", s.MAPEPct, want)
+	}
+	if want := 3.5; s.BiasMs != want { // (5 + 2) / 2
+		t.Errorf("BiasMs = %v, want %v (zero-actual pair included)", s.BiasMs, want)
+	}
+}
+
+// TestCalibrationBucketEdges pins the bucket boundaries, including the
+// degenerate-actual rules that keep every pair classified.
+func TestCalibrationBucketEdges(t *testing.T) {
+	cases := []struct {
+		pred, act float64
+		want      int
+	}{
+		{7.9, 10, 0},  // 0.79 < 0.80
+		{8.0, 10, 1},  // edge lands in the bucket above
+		{9.4, 10, 1},  // 0.94
+		{9.5, 10, 2},  // edge
+		{10.4, 10, 2}, // 1.04
+		{10.5, 10, 3}, // edge
+		{12.4, 10, 3}, // 1.24
+		{12.5, 10, 4}, // edge
+		{100, 10, 4},  // far over
+		{0, 0, 2},     // both degenerate: agree, middle
+		{5, 0, 4},     // predicted something that never ran: extreme
+		{-1, -1, 2},   // negative actual with agreeing prediction
+	}
+	for _, tc := range cases {
+		if got := CalibrationBucket(tc.pred, tc.act); got != tc.want {
+			t.Errorf("CalibrationBucket(%v, %v) = %d, want %d", tc.pred, tc.act, got, tc.want)
+		}
+	}
+}
+
+// TestAuditSnapshotOrder: snapshots must sort by (layer, scope, key)
+// regardless of observation order, so rendered tables are deterministic.
+func TestAuditSnapshotOrder(t *testing.T) {
+	a := NewAudit()
+	a.Observe("serve", "tenant", "bob", 1, 1)
+	a.Observe("fleet", "device", "Orin/0", 1, 1)
+	a.Observe("serve", "mix", "VGG19", 1, 1)
+	a.Observe("control", "scale", "reaction-lag", 1, 1)
+	a.Observe("serve", "tenant", "alice", 1, 1)
+	var got []string
+	for _, s := range a.Snapshot() {
+		got = append(got, s.Layer+"/"+s.Scope+"/"+s.Key)
+	}
+	want := []string{
+		"control/scale/reaction-lag",
+		"fleet/device/Orin/0",
+		"serve/mix/VGG19",
+		"serve/tenant/alice",
+		"serve/tenant/bob",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d aggregates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAuditNilSafe: every method on a nil *Audit must be a no-op, the
+// same contract Tracer and Registry honor — callers thread a possibly-nil
+// sink without guarding.
+func TestAuditNilSafe(t *testing.T) {
+	var a *Audit
+	a.Observe("serve", "tenant", "alice", 1, 2)
+	if a.Len() != 0 {
+		t.Errorf("nil Len = %d", a.Len())
+	}
+	if s := a.Snapshot(); s != nil {
+		t.Errorf("nil Snapshot = %v", s)
+	}
+	a.FillMetrics(NewRegistry())
+	a.FillMetrics(nil)
+	NewAudit().FillMetrics(nil)
+}
+
+// TestAuditFillMetrics: the registry export must namespace every
+// aggregate and carry count, bias and MAPE.
+func TestAuditFillMetrics(t *testing.T) {
+	a := NewAudit()
+	a.Observe("fleet", "device", "Orin/0", 12, 10)
+	a.Observe("fleet", "device", "Orin/0", 8, 10)
+	reg := NewRegistry()
+	a.FillMetrics(reg)
+	for key, want := range map[string]float64{
+		"audit.fleet.device.Orin/0.count":    2,
+		"audit.fleet.device.Orin/0.bias_ms":  0,
+		"audit.fleet.device.Orin/0.mape_pct": 20,
+	} {
+		if got := reg.Get(key); got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// TestTracerEventsReturnsCopy: Events() hands out a snapshot, not the
+// live backing slice — a caller mutating or holding the result across
+// further Emit calls must never see (or cause) aliasing corruption.
+func TestTracerEventsReturnsCopy(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(Event{Kind: KindArrive, Detail: "first"})
+	got := tr.Events()
+	got[0].Detail = "mutated"
+	if tr.Events()[0].Detail != "first" {
+		t.Fatal("mutating Events() result corrupted the tracer's buffer")
+	}
+	// Growth after a snapshot must not leak new events into the old slice.
+	for i := 0; i < 64; i++ {
+		tr.Emit(Event{Kind: KindComplete})
+	}
+	if len(got) != 1 {
+		t.Fatalf("snapshot grew with the tracer: len %d", len(got))
+	}
+}

@@ -42,7 +42,10 @@ type chromeTrace struct {
 // lifecycle stages by name; details ride in args. Output is deterministic:
 // track IDs come from sorted names and encoding/json sorts map keys.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
-	events := t.Events()
+	var events []Event
+	if t != nil {
+		events = t.events
+	}
 
 	deviceTID := map[string]int{}
 	tenantTID := map[string]int{}
@@ -121,6 +124,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		default:
 			ce.Phase = "i"
 			ce.Scope = "t"
+		}
+		// Non-counter events carrying a Metrics map (audit pairs, engine
+		// stats) keep their samples as plain args.
+		if ce.Phase != "C" && len(e.Metrics) > 0 {
+			for k, v := range e.Metrics {
+				args[k] = v
+			}
 		}
 		if len(args) > 0 {
 			ce.Args = args

@@ -1,20 +1,24 @@
 // Package obs is the deterministic observability layer of the serving
-// stack: request-lifecycle tracing, streaming quantile metrics and a
-// counter/gauge registry, shared by internal/serve, internal/fleet and
-// internal/control.
+// stack: request-lifecycle tracing, streaming quantile metrics, a
+// counter/gauge registry and the predicted-vs-actual forensics audit,
+// shared by internal/serve, internal/fleet and internal/control.
 //
 // Everything here runs on the virtual timeline and is strictly on the
 // side: a Tracer records structured events in emission order (the stack
 // is single-threaded per run, so that order is deterministic), a Sketch
-// summarizes a latency stream in fixed memory, and a Registry snapshots
-// named counters — none of them feed back into scheduling, so a run
-// produces byte-identical summaries with observability on or off.
+// summarizes a latency stream in fixed memory, a Registry snapshots
+// named counters, and an Audit streams (predicted, actual) pairs into
+// per-key calibration aggregates — none of them feed back into
+// scheduling, so a run produces byte-identical summaries with
+// observability on or off.
 //
 // Traces export two ways: WriteJSONL for stream processing, and
 // WriteChromeTrace for the Chrome trace-event JSON that Perfetto
 // (ui.perfetto.dev) and chrome://tracing load — one track per device
 // (dispatch spans and cache activity) and one per tenant (request
-// lifecycle instants).
+// lifecycle instants). cmd/obsreport consumes the JSONL offline,
+// rebuilding the audit tables from the event stream and attributing a
+// root cause to every SLO violation.
 package obs
 
 import (
@@ -54,6 +58,13 @@ const (
 	KindScale   = "scale"
 	KindMigrate = "migrate"
 	KindPool    = "pool"
+
+	// Forensics (see Audit and cmd/obsreport): "audit" pairs a model
+	// prediction with its ground-truth actual (per dispatch round and per
+	// request, plus control's scale-lag windows); "engine" reports one
+	// portfolio engine's effort on one background solve.
+	KindAudit  = "audit"
+	KindEngine = "engine"
 )
 
 // Event is one structured observation on the virtual timeline.
@@ -114,13 +125,15 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
-// Events returns the recorded events in emission order. The slice is the
-// tracer's own; callers must not mutate it.
+// Events returns a copy of the recorded events in emission order, so a
+// caller mutating the returned slice (sorting, annotating) cannot corrupt
+// the tracer's own stream or a later export. Nil on a nil or empty
+// tracer.
 func (t *Tracer) Events() []Event {
-	if t == nil {
+	if t == nil || len(t.events) == 0 {
 		return nil
 	}
-	return t.events
+	return append([]Event(nil), t.events...)
 }
 
 // CountByKind tallies the recorded events per kind (for tests and
@@ -139,8 +152,11 @@ func (t *Tracer) CountByKind() map[string]int {
 // WriteJSONL writes the events as JSON Lines, one event per line, in
 // emission order.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
-	for _, e := range t.Events() {
+	for _, e := range t.events {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}

@@ -284,25 +284,31 @@ func ControlCSV(w io.Writer, sum *control.Summary) error {
 	if err := c.row("kind", "at_ms", "active", "draining", "backlog_ms",
 		"utilization_pct", "action", "device", "platform", "seeded",
 		"tenant", "from", "to", "reason", "rolling_p99_ms", "violation_rate",
-		"mix"); err != nil {
+		"mix", "reaction_ticks"); err != nil {
 		return err
 	}
 	for _, s := range sum.Timeline {
 		if err := c.row("pool", s.AtMs, s.Active, s.Draining, s.BacklogMs,
-			s.UtilizationPct, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+			s.UtilizationPct, "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 			return err
 		}
 	}
 	for _, e := range sum.Scale {
+		// reaction_ticks is grow-only (see control.ScaleEvent); other
+		// actions leave the column empty rather than a meaningless zero.
+		reaction := any("")
+		if e.Action == "grow" {
+			reaction = e.ReactionTicks
+		}
 		if err := c.row("scale", e.AtMs, e.Active, "", e.BacklogMs, "",
 			e.Action, e.Device, e.Platform, e.Seeded, "", "", "", "", "", "",
-			e.Mix); err != nil {
+			e.Mix, reaction); err != nil {
 			return err
 		}
 	}
 	for _, m := range sum.Migrations {
 		if err := c.row("migration", m.AtMs, "", "", "", "", "", "", "", "",
-			m.Tenant, m.From, m.To, m.Reason, m.RollingP99Ms, m.ViolationRate, ""); err != nil {
+			m.Tenant, m.From, m.To, m.Reason, m.RollingP99Ms, m.ViolationRate, "", ""); err != nil {
 			return err
 		}
 	}
@@ -349,6 +355,33 @@ func Fig7CSV(w io.Writer, phases []experiments.Fig7Phase) error {
 			if err := c.row(i+1, float64(u.SolverTime.Microseconds()), u.LatencyMs, ph.BaselineMs, ph.OptimalMs); err != nil {
 				return err
 			}
+		}
+	}
+	return c.flush()
+}
+
+// AuditCSV writes a prediction-audit snapshot: one row per (layer, scope,
+// key) aggregate with count, means, signed bias, MAPE and the calibration
+// histogram (one column per predicted/actual ratio bucket). Rows come in
+// the snapshot's sorted order, so the table is deterministic.
+func AuditCSV(w io.Writer, stats []obs.AuditStat) error {
+	c := newCSV(w)
+	header := []any{"layer", "scope", "key", "count", "mean_predicted_ms",
+		"mean_actual_ms", "bias_ms", "mape_pct"}
+	for _, label := range obs.CalibrationLabels {
+		header = append(header, "ratio_"+label)
+	}
+	if err := c.row(header...); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		row := []any{s.Layer, s.Scope, s.Key, s.Count, s.MeanPredictedMs,
+			s.MeanActualMs, s.BiasMs, s.MAPEPct}
+		for _, b := range s.Buckets {
+			row = append(row, b)
+		}
+		if err := c.row(row...); err != nil {
+			return err
 		}
 	}
 	return c.flush()

@@ -301,8 +301,8 @@ func TestControlCSV(t *testing.T) {
 	if recs[0][0] != "kind" || recs[1][0] != "pool" {
 		t.Errorf("header/first rows: %v %v", recs[0], recs[1])
 	}
-	if recs[0][len(recs[0])-1] != "mix" {
-		t.Errorf("control CSV missing mix column: %v", recs[0])
+	if recs[0][len(recs[0])-2] != "mix" || recs[0][len(recs[0])-1] != "reaction_ticks" {
+		t.Errorf("control CSV missing mix/reaction_ticks columns: %v", recs[0])
 	}
 	kinds := map[string]int{}
 	for _, r := range recs[1:] {
@@ -338,6 +338,90 @@ func TestControlComparisonCSV(t *testing.T) {
 	}
 	if recs[1][7] == recs[2][7] {
 		t.Errorf("device_ms identical for controlled and static: %v", recs[1][7])
+	}
+}
+
+// TestControlCSVReactionTicks: the scale rows carry the reaction-lag
+// column — populated for grows, empty (not zero) for every other kind.
+func TestControlCSVReactionTicks(t *testing.T) {
+	cmp := sampleControl(t)
+	var buf bytes.Buffer
+	if err := ControlCSV(&buf, cmp.Controlled); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, action := -1, -1
+	for i, name := range recs[0] {
+		switch name {
+		case "reaction_ticks":
+			col = i
+		case "action":
+			action = i
+		}
+	}
+	if col < 0 || action < 0 {
+		t.Fatalf("missing reaction_ticks or action column in header %v", recs[0])
+	}
+	growRows := 0
+	for _, r := range recs[1:] {
+		if r[0] == "scale" && r[action] == "grow" {
+			growRows++
+			if r[col] == "" {
+				t.Errorf("grow row has empty reaction_ticks: %v", r)
+			}
+		} else if r[col] != "" {
+			t.Errorf("non-grow row has reaction_ticks %q: %v", r[col], r)
+		}
+	}
+	if growRows == 0 {
+		t.Error("sample run produced no grow rows; reaction_ticks coverage is vacuous")
+	}
+}
+
+// TestAuditCSV: the audit table renders one row per aggregate in
+// Snapshot's deterministic order, with one trailing column per
+// calibration bucket — and renders byte-identically across calls.
+func TestAuditCSV(t *testing.T) {
+	a := obs.NewAudit()
+	a.Observe("serve", "tenant", "bob", 12, 10)
+	a.Observe("fleet", "device", "Orin/0", 9, 10)
+	a.Observe("serve", "mix", "VGG19|MinLatency", 10, 10)
+	render := func() string {
+		var buf bytes.Buffer
+		if err := AuditCSV(&buf, a.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	recs, err := csv.NewReader(strings.NewReader(first)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("%d records, want header + 3 rows", len(recs))
+	}
+	if want := 8 + obs.NumCalibrationBuckets; len(recs[0]) != want {
+		t.Fatalf("header has %d columns, want %d: %v", len(recs[0]), want, recs[0])
+	}
+	if recs[0][len(recs[0])-1] != "ratio_"+obs.CalibrationLabels[obs.NumCalibrationBuckets-1] {
+		t.Errorf("last header column: %v", recs[0][len(recs[0])-1])
+	}
+	// Snapshot order: fleet before serve, mix before tenant.
+	if recs[1][0] != "fleet" || recs[2][2] != "VGG19|MinLatency" || recs[3][2] != "bob" {
+		t.Errorf("row order: %v", recs[1:])
+	}
+	// bob: ratio 1.2 lands in the 1.05-1.25 bucket (column 8 + 3).
+	if recs[3][11] != "1" {
+		t.Errorf("bob calibration row: %v", recs[3])
+	}
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs from the first:\n%s\nvs\n%s", i, got, first)
+		}
 	}
 }
 

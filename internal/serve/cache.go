@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"haxconn/internal/baselines"
+	"haxconn/internal/contention"
 	"haxconn/internal/core"
 	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
@@ -89,6 +90,15 @@ type Cache struct {
 	probeErr map[string]error
 	tracer   *obs.Tracer
 	name     string
+	// model is the fitted analytic contention model (core.Model's default
+	// for this platform), lazily built for the forensics audit's
+	// model-arbiter evaluations (Entry.Predict).
+	model contention.Model
+	// engines accumulates per-engine portfolio telemetry over this cache's
+	// background solves (nil until the first portfolio solve commits);
+	// barrierRounds totals their bound-exchange rounds.
+	engines       map[string]*engineTotals
+	barrierRounds int
 
 	Hits     int
 	Misses   int
@@ -104,6 +114,77 @@ type Cache struct {
 // AttachTracer wires cache-internal events (probe builds, probe
 // promotions, background solves) into a trace. Purely observational.
 func (c *Cache) AttachTracer(t *obs.Tracer) { c.tracer = t }
+
+// engineTotals accumulates one portfolio engine's telemetry across this
+// cache's background solves.
+type engineTotals struct {
+	Solves     int // solves the engine participated in
+	Wins       int // solves whose final incumbent this engine produced
+	Nodes      int // search nodes explored
+	Evals      int // full schedule evaluations
+	Incumbents int // incumbents contributed to the merged histories
+	Proofs     int // solves this engine ran to a completed (optimal) search
+}
+
+// contentionModel lazily fits the analytic contention model the background
+// solver optimizes with (core.Model's platform default) — the "predicted"
+// side of the forensics audit. Fitted once per cache; deterministic.
+func (c *Cache) contentionModel() (contention.Model, error) {
+	if c.model == nil {
+		m, err := core.Model(c.request(nil))
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
+	}
+	return c.model, nil
+}
+
+// logSolve records one committed background solve's portfolio telemetry:
+// per-engine trace events (nodes, evals, incumbents contributed, proof,
+// winner attribution) and the cache's per-engine totals FillMetrics
+// exports. No-op for single-engine solves, which carry no EngineStats.
+// Called only on the serial commit paths, so totals and event order are
+// deterministic.
+func (c *Cache) logSolve(e *Entry, nowMs float64) {
+	if e.Any == nil || len(e.Any.Engines) == 0 {
+		return
+	}
+	if c.engines == nil {
+		c.engines = map[string]*engineTotals{}
+	}
+	c.barrierRounds += e.Any.BarrierRounds
+	for _, es := range e.Any.Engines {
+		t := c.engines[es.Engine]
+		if t == nil {
+			t = &engineTotals{}
+			c.engines[es.Engine] = t
+		}
+		t.Solves++
+		t.Nodes += es.Stats.Nodes
+		t.Evals += es.Stats.Evals
+		t.Incumbents += es.Incumbents
+		win, proof := 0.0, 0.0
+		if es.Winner {
+			t.Wins++
+			win = 1
+		}
+		if es.Stats.Complete {
+			t.Proofs++
+			proof = 1
+		}
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindEngine, Request: obs.NoRequest,
+			Detail: e.Key + ":" + es.Engine, Value: float64(es.Stats.Nodes),
+			Metrics: map[string]float64{
+				"nodes":          float64(es.Stats.Nodes),
+				"evals":          float64(es.Stats.Evals),
+				"incumbents":     float64(es.Incumbents),
+				"proof":          proof,
+				"winner":         win,
+				"barrier_rounds": float64(e.Any.BarrierRounds),
+			}})
+	}
+}
 
 // deviceLabel is the track a cache's events and metrics attribute to: the
 // owning runtime's (possibly per-comparison-leg) name for a private
@@ -153,6 +234,7 @@ type Entry struct {
 	cache     *Cache
 	lastSched *schedule.Schedule
 	evals     map[string]*schedule.Eval
+	predEvals map[string]*schedule.Eval // model-arbiter evaluations (Predict)
 	// settled marks an entry carried across a timeline rewind: its solve
 	// finished in a previous run, so it deploys its best incumbent
 	// immediately rather than replaying the stream against a clock it
@@ -202,6 +284,7 @@ func (c *Cache) Rewind() {
 	}
 	c.Hits, c.Misses, c.Upgrades = 0, 0, 0
 	c.Probes, c.Promotions = 0, 0
+	c.engines, c.barrierRounds = nil, 0
 }
 
 // mixKey canonicalizes a workload mix into a cache key.
@@ -250,6 +333,7 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 		}
 		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheSolve, Request: obs.NoRequest,
 			Detail: key, Value: float64(e.solverNodes())})
+		c.logSolve(e, nowMs)
 	}
 	c.entries[key] = e
 	return e, false, nil
@@ -297,6 +381,7 @@ func (c *Cache) Probe(networks []string, nowMs float64) (*Entry, bool, error) {
 	c.Probes++
 	c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheProbe, Request: obs.NoRequest,
 		Detail: key, Value: float64(e.solverNodes())})
+	c.logSolve(e, nowMs)
 	c.probes[key] = e
 	return e, false, nil
 }
@@ -369,6 +454,7 @@ func (c *Cache) ProbeAll(mixes [][]string, nowMs float64) ([]*Entry, []error) {
 			c.Probes++
 			c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheProbe, Request: obs.NoRequest,
 				Detail: b.key, Value: float64(b.e.solverNodes())})
+			c.logSolve(b.e, nowMs)
 			c.probes[b.key] = b.e
 		}
 	}
@@ -460,6 +546,24 @@ func (c *Cache) FillMetrics(reg *obs.Registry) {
 	reg.Set(p+"upgrades", float64(c.Upgrades))
 	reg.Set(p+"probes", float64(c.Probes))
 	reg.Set(p+"promotions", float64(c.Promotions))
+	if len(c.engines) > 0 {
+		reg.Set(p+"barrier_rounds", float64(c.barrierRounds))
+		names := make([]string, 0, len(c.engines))
+		for name := range c.engines {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := c.engines[name]
+			ep := p + "engine." + name + "."
+			reg.Set(ep+"solves", float64(t.Solves))
+			reg.Set(ep+"wins", float64(t.Wins))
+			reg.Set(ep+"nodes", float64(t.Nodes))
+			reg.Set(ep+"evals", float64(t.Evals))
+			reg.Set(ep+"incumbents", float64(t.Incumbents))
+			reg.Set(ep+"proofs", float64(t.Proofs))
+		}
+	}
 }
 
 // Use returns the schedule deployed for this entry at virtual time nowMs:
@@ -528,5 +632,32 @@ func (e *Entry) Evaluate(s *schedule.Schedule) (*schedule.Eval, error) {
 		return nil, err
 	}
 	e.evals[key] = ev
+	return ev, nil
+}
+
+// Predict evaluates a schedule for this mix under the analytic contention
+// model — the arbiter the background solver optimizes with — instead of
+// the ground-truth simulator. It is the "predicted" half of the forensics
+// audit: Predict and Evaluate on the same deployed schedule yield exactly
+// the model-vs-reality pair the calibration table is built from. Memoized
+// per schedule like Evaluate; called only on the single-threaded dispatch
+// path.
+func (e *Entry) Predict(s *schedule.Schedule) (*schedule.Eval, error) {
+	key := s.Key()
+	if ev, ok := e.predEvals[key]; ok {
+		return ev, nil
+	}
+	m, err := e.cache.contentionModel()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := schedule.Evaluate(e.Prob, e.Profile, s, sim.ModelArbiter{Model: m})
+	if err != nil {
+		return nil, err
+	}
+	if e.predEvals == nil {
+		e.predEvals = map[string]*schedule.Eval{}
+	}
+	e.predEvals[key] = ev
 	return ev, nil
 }

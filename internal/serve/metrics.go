@@ -23,6 +23,10 @@ type Completion struct {
 	StartMs, EndMs float64
 	// LatencyMs is arrival-to-completion, including queueing delay.
 	LatencyMs float64
+	// RoundMakespanMs is the ground-truth makespan of the dispatch round
+	// that served the request (zero for rejections) — the realized side of
+	// the fleet's placement-decision audit.
+	RoundMakespanMs float64
 	// Violated marks a served request that missed its SLO.
 	Violated bool
 	// Rejected marks a request the admission controller turned away.

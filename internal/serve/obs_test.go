@@ -81,6 +81,186 @@ func TestTracingNoPerturbation(t *testing.T) {
 	}
 }
 
+// TestCompareChromeTrackLayout: under a shared tracer serve.Compare
+// renames each leg's device, and the Chrome export must lay the legs out
+// as separate named device tracks — no track named after the bare
+// platform, both policy legs present, and no two thread labels colliding
+// within a process.
+func TestCompareChromeTrackLayout(t *testing.T) {
+	tr, err := Generate(twoTenants(), 600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	if _, err := Compare(Config{Platform: soc.Orin(), SolverTimeScale: 50, Tracer: tracer}, tr); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	// Collect the thread labels per process from the metadata records.
+	labels := map[int]map[string]int{}
+	for _, e := range parsed.TraceEvents {
+		if e.Phase != "M" || e.Name != "thread_name" {
+			continue
+		}
+		name, _ := e.Args["name"].(string)
+		if labels[e.PID] == nil {
+			labels[e.PID] = map[string]int{}
+		}
+		labels[e.PID][name]++
+	}
+	for pid, byName := range labels {
+		for name, n := range byName {
+			if n > 1 {
+				t.Errorf("process %d has %d tracks labeled %q", pid, n, name)
+			}
+		}
+	}
+	var deviceTracks []string
+	for name := range labels[1] {
+		deviceTracks = append(deviceTracks, name)
+	}
+	for _, want := range []string{"Orin/contention-aware", "Orin/naive-gpu-only"} {
+		if labels[1][want] == 0 {
+			t.Errorf("no device track %q (device tracks: %v)", want, deviceTracks)
+		}
+	}
+	if labels[1]["Orin"] != 0 {
+		t.Errorf("bare platform track %q present: compare legs would overlap", "Orin")
+	}
+}
+
+// TestAuditNoPerturbation: attaching a prediction audit must not change a
+// single byte of the summary — the audit re-evaluates schedules under the
+// analytic model, and none of that may leak into the timeline. Checked
+// for fifo and contention-aware, with and without a tracer alongside.
+func TestAuditNoPerturbation(t *testing.T) {
+	tr, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{MixFIFO, MixContentionAware} {
+		base := Config{Platform: soc.Orin(), SolverTimeScale: 50, MixPolicy: policy}
+		plain := serveJSON(t, base, tr)
+		audited := base
+		audited.Audit = obs.NewAudit()
+		if got := serveJSON(t, audited, tr); !bytes.Equal(plain, got) {
+			t.Errorf("%s: auditing changed the summary:\n%s\nvs\n%s", policy, plain, got)
+		}
+		if audited.Audit.Len() == 0 {
+			t.Errorf("%s: audit saw no pairs; no-perturbation check is vacuous", policy)
+		}
+		both := base
+		both.Audit = obs.NewAudit()
+		both.Tracer = obs.NewTracer()
+		if got := serveJSON(t, both, tr); !bytes.Equal(plain, got) {
+			t.Errorf("%s: audit+tracer changed the summary", policy)
+		}
+	}
+}
+
+// TestAuditStream: the forensics stream must be complete and internally
+// consistent — one round-level pair per dispatch round, one per-request
+// pair per completion, actuals agreeing with the summary's ground truth,
+// and the streamed aggregates conserving every pair.
+func TestAuditStream(t *testing.T) {
+	tr, err := Generate(MixedDemandTenants(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := obs.NewAudit()
+	tracer := obs.NewTracer()
+	rt, err := New(Config{
+		Platform:        soc.Orin(),
+		SolverTimeScale: 50,
+		MixPolicy:       MixContentionAware,
+		Audit:           audit,
+		Tracer:          tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Serve(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, requests := 0, 0
+	for _, e := range tracer.Events() {
+		if e.Kind != obs.KindAudit {
+			continue
+		}
+		if e.Request == obs.NoRequest {
+			rounds++
+			for _, k := range []string{"predicted_ms", "actual_ms"} {
+				if _, ok := e.Metrics[k]; !ok {
+					t.Fatalf("round audit event missing %q: %+v", k, e)
+				}
+			}
+			continue
+		}
+		requests++
+		for _, k := range []string{"predicted_lat_ms", "actual_lat_ms", "queue_wait_ms", "slo_ms"} {
+			if _, ok := e.Metrics[k]; !ok {
+				t.Fatalf("request audit event missing %q: %+v", k, e)
+			}
+		}
+		if e.Metrics["queue_wait_ms"] < 0 {
+			t.Errorf("request %d: negative queue wait %v", e.Request, e.Metrics["queue_wait_ms"])
+		}
+		if e.Metrics["actual_lat_ms"] <= 0 {
+			t.Errorf("request %d: non-positive actual latency", e.Request)
+		}
+	}
+	if rounds != sum.Rounds {
+		t.Errorf("round audit events = %d, want one per round (%d)", rounds, sum.Rounds)
+	}
+	if requests != sum.Total.Completed {
+		t.Errorf("request audit events = %d, want one per completion (%d)", requests, sum.Total.Completed)
+	}
+
+	// The aggregates must conserve the stream: per-scope counts sum to
+	// the pair totals, and every histogram partitions its count.
+	scopeCounts := map[string]int{}
+	for _, s := range audit.Snapshot() {
+		if s.Layer != "serve" {
+			t.Errorf("unexpected layer %q in a single-device run", s.Layer)
+		}
+		scopeCounts[s.Scope] += s.Count
+		bsum := 0
+		for _, b := range s.Buckets {
+			bsum += b
+		}
+		if bsum != s.Count {
+			t.Errorf("%s/%s: buckets sum to %d, want %d", s.Scope, s.Key, bsum, s.Count)
+		}
+		if s.Count > 0 && s.MeanActualMs <= 0 {
+			t.Errorf("%s/%s: mean actual %.4f not positive", s.Scope, s.Key, s.MeanActualMs)
+		}
+	}
+	if got, want := scopeCounts["mix"], sum.Rounds; got != want {
+		t.Errorf("mix-scope pairs = %d, want %d", got, want)
+	}
+	for _, scope := range []string{"tenant", "network"} {
+		if got, want := scopeCounts[scope], sum.Total.Completed; got != want {
+			t.Errorf("%s-scope pairs = %d, want %d", scope, got, want)
+		}
+	}
+}
+
 // TestTraceLifecycleCoverage: a config that exercises admission control,
 // contention-aware scoring and tight SLOs must leave at least one event
 // at every lifecycle stage, with arrivals and completions conserved.
@@ -203,8 +383,8 @@ func TestSketchSummaryMatchesExact(t *testing.T) {
 				t.Errorf("%s/%s: exact-count fields differ: %+v vs %+v", arrivals, e.Tenant, e, s)
 			}
 			for _, q := range []struct {
-				name           string
-				exact, sketch  float64
+				name          string
+				exact, sketch float64
 			}{
 				{"p50", e.P50Ms, s.P50Ms},
 				{"p95", e.P95Ms, s.P95Ms},

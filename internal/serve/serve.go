@@ -178,6 +178,16 @@ type Config struct {
 	// effectiveness, prepare calls, queue watermarks) at the end of Serve
 	// via FillMetrics. Like Tracer, it is observational only.
 	Metrics *obs.Registry
+	// Audit, when set, receives the forensics stream: at every dispatch
+	// round the deployed schedule is re-evaluated under the analytic
+	// contention model (the prediction the solver optimized with) and
+	// compared against the ground-truth execution — round makespan pairs
+	// per mix, end-to-end latency pairs per tenant and per network. With a
+	// Tracer attached the same pairs also land as per-round and
+	// per-request "audit" trace events (what cmd/obsreport classifies
+	// violations with). Strictly observational: summaries are
+	// byte-identical with an audit attached or not.
+	Audit *obs.Audit
 }
 
 // Runtime is the serving executor: admission controller, dispatcher and
@@ -944,13 +954,19 @@ func (r *Runtime) Step() error {
 	}
 	r.trace(obs.Event{AtMs: start, DurMs: ev.MakespanMs, Kind: obs.KindDispatch,
 		Request: obs.NoRequest, Detail: entry.Key, Value: float64(n)})
+	if r.cfg.Audit != nil || r.cfg.Tracer != nil {
+		if err := r.auditRound(entry, s, ev, batch, start); err != nil {
+			return err
+		}
+	}
 	for k, b := range batch {
 		end := start + ev.Result.StreamEndMs[k]
 		c := Completion{
-			Request:   b,
-			StartMs:   start,
-			EndMs:     end,
-			LatencyMs: end - b.ArrivalMs,
+			Request:         b,
+			StartMs:         start,
+			EndMs:           end,
+			LatencyMs:       end - b.ArrivalMs,
+			RoundMakespanMs: ev.MakespanMs,
 		}
 		if b.SLOMs > 0 && c.LatencyMs > b.SLOMs {
 			c.Violated = true
@@ -960,6 +976,46 @@ func (r *Runtime) Step() error {
 	r.clockMs = start + ev.MakespanMs
 	r.busyMs += ev.MakespanMs
 	r.rounds++
+	return nil
+}
+
+// auditRound is the prediction audit of one dispatch round: the deployed
+// schedule is re-evaluated under the analytic contention model
+// (Entry.Predict) and the model's numbers — round makespan, per-request
+// end offsets — are paired with the ground-truth execution the round
+// actually ran (ev). Pairs stream into the audit aggregates, and under a
+// tracer each round and each request leaves an "audit" event carrying the
+// pair plus the queue wait and SLO — everything cmd/obsreport needs to
+// attribute a violation to misprediction vs. waiting. Purely
+// observational: nothing here touches schedule choice, counters or the
+// clock, and Predict's evaluations are memoized per (mix, schedule).
+func (r *Runtime) auditRound(entry *Entry, s *schedule.Schedule, ev *schedule.Eval, batch []Request, start float64) error {
+	pv, err := entry.Predict(s)
+	if err != nil {
+		return err
+	}
+	r.cfg.Audit.Observe("serve", "mix", entry.Key, pv.MakespanMs, ev.MakespanMs)
+	r.trace(obs.Event{AtMs: start, Kind: obs.KindAudit, Request: obs.NoRequest,
+		Detail: entry.Key, Value: pv.MakespanMs - ev.MakespanMs,
+		Metrics: map[string]float64{
+			"predicted_ms": pv.MakespanMs,
+			"actual_ms":    ev.MakespanMs,
+		}})
+	for k, b := range batch {
+		pred := start + pv.Result.StreamEndMs[k] - b.ArrivalMs
+		act := start + ev.Result.StreamEndMs[k] - b.ArrivalMs
+		r.cfg.Audit.Observe("serve", "tenant", b.Tenant, pred, act)
+		r.cfg.Audit.Observe("serve", "network", b.Network, pred, act)
+		r.trace(obs.Event{AtMs: start, Kind: obs.KindAudit,
+			Tenant: b.Tenant, Network: b.Network, Request: b.ID, Detail: entry.Key,
+			Value: pred - act,
+			Metrics: map[string]float64{
+				"predicted_lat_ms": pred,
+				"actual_lat_ms":    act,
+				"queue_wait_ms":    start - b.ArrivalMs,
+				"slo_ms":           b.SLOMs,
+			}})
+	}
 	return nil
 }
 

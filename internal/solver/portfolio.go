@@ -134,6 +134,14 @@ type EngineStats struct {
 	Engine string  // "bb", "sat" or "local"
 	Cost   float64 // the engine's final bound (informed by the shared bound)
 	Stats  Stats
+	// Incumbents counts this engine's incumbents that survived the
+	// deterministic merge into the portfolio's Anytime history — its
+	// contribution to the upgrade stream the serving cache replays.
+	Incumbents int
+	// Winner marks the engine that produced the final (best) incumbent of
+	// the merged history: the engine the solve is attributed to. Exactly
+	// one engine wins per portfolio solve.
+	Winner bool
 }
 
 // OptimizePortfolio runs the branch & bound, SAT-enumeration and
@@ -237,10 +245,14 @@ func OptimizePortfolio(prob *schedule.Problem, pr *schedule.Profile, cfg Config)
 		return all[i].eng < all[j].eng
 	})
 	cur := math.Inf(1)
+	contrib := make([]int, len(engines))
+	winner := -1
 	for _, t := range all {
 		if t.inc.Cost < cur {
 			cur = t.inc.Cost
 			a.History = append(a.History, t.inc)
+			contrib[t.eng]++
+			winner = t.eng
 		}
 	}
 	if len(a.History) == 0 {
@@ -257,10 +269,14 @@ func OptimizePortfolio(prob *schedule.Problem, pr *schedule.Profile, cfg Config)
 		if engines[i].proves && r.st.Complete {
 			proved = true
 		}
-		a.Engines = append(a.Engines, EngineStats{Engine: engines[i].name, Cost: r.cost, Stats: r.st})
+		a.Engines = append(a.Engines, EngineStats{
+			Engine: engines[i].name, Cost: r.cost, Stats: r.st,
+			Incumbents: contrib[i], Winner: i == winner,
+		})
 	}
 	a.Stats.Complete = proved
 	a.Stats.Elapsed = time.Since(start)
+	a.BarrierRounds = sh.round
 
 	if cfg.OnImprove != nil {
 		for _, inc := range a.History {

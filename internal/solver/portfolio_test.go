@@ -130,6 +130,43 @@ func TestPortfolioMergeShape(t *testing.T) {
 	}
 }
 
+// TestPortfolioEngineStats: the per-engine telemetry must attribute the
+// merged result coherently — exactly one winning engine carrying the
+// final cost, incumbent contributions conserving the merged history, and
+// at least one barrier round behind any multi-incumbent merge.
+func TestPortfolioEngineStats(t *testing.T) {
+	prob, pr, cfg := quartet(t)
+	a, err := OptimizePortfolio(prob, pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	winners, contributed := 0, 0
+	for _, es := range a.Engines {
+		if es.Engine == "" {
+			t.Error("engine report without a name")
+		}
+		if es.Incumbents < 0 {
+			t.Errorf("%s: negative incumbent count %d", es.Engine, es.Incumbents)
+		}
+		contributed += es.Incumbents
+		if es.Winner {
+			winners++
+			if es.Cost < a.Cost-1e-9 || es.Cost > a.Cost+1e-9 {
+				t.Errorf("winner %s carries cost %.6f, portfolio landed on %.6f", es.Engine, es.Cost, a.Cost)
+			}
+		}
+	}
+	if winners != 1 {
+		t.Errorf("%d winning engines, want exactly 1 (%+v)", winners, a.Engines)
+	}
+	if contributed != len(a.History) {
+		t.Errorf("engines contributed %d incumbents, merged history has %d", contributed, len(a.History))
+	}
+	if a.BarrierRounds < 1 {
+		t.Errorf("BarrierRounds = %d, want >= 1 for a run with incumbents", a.BarrierRounds)
+	}
+}
+
 // TestPortfolioUnseeded: the portfolio also works without seeds (engines
 // record their first own evaluations) and still proves the optimum.
 func TestPortfolioUnseeded(t *testing.T) {

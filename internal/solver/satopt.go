@@ -208,6 +208,9 @@ type Anytime struct {
 	Seed *schedule.Schedule
 	// Engines reports per-engine effort for portfolio runs (nil otherwise).
 	Engines []EngineStats
+	// BarrierRounds counts the deterministic bound-exchange rounds a
+	// portfolio solve committed (0 for single-engine runs).
+	BarrierRounds int
 }
 
 // RunAnytime runs the branch & bound engine, capturing every incumbent.
