@@ -19,15 +19,25 @@
 // Modes:
 //
 //   - serve:   run the controlled fleet once and print the summary plus
-//     the scaling/migration event log.
+//     the scaling/migration event log. With -shards K > 1 the fleet is
+//     partitioned into K concurrently-stepped shard control planes with
+//     deterministic gossip (see internal/shard) and the merged plane
+//     summary is printed instead.
 //   - compare: serve identical traffic on the controlled fleet and on a
 //     static fleet of the controlled fleet's maximum size — the
 //     elasticity trade on one trace.
+//   - shard-compare: serve identical traffic on the K-shard plane and on
+//     one global controller built from the same configuration — the
+//     sharding trade, with wall-clock req/sec per leg. -region swaps in
+//     the canonical region-scale demo (48 Orins, 32 tenants) where the
+//     single controller's per-request admission scan is the bottleneck.
 //
 // Examples:
 //
 //	control                               # canonical burst demo, compare mode
 //	control -mode serve -devices Orin -grow Xavier -max 4
+//	control -mode serve -shards 4 -devices Orin:8 -max 12 -grow Orin
+//	control -mode shard-compare -region -shards 4
 //	control -burst 500:800:4 -high 15 -low 1 -tick 20
 //	control -list
 package main
@@ -47,6 +57,7 @@ import (
 	"haxconn/internal/nn"
 	"haxconn/internal/report"
 	"haxconn/internal/serve"
+	"haxconn/internal/shard"
 	"haxconn/internal/soc"
 )
 
@@ -74,7 +85,8 @@ func main() {
 		duration  = flag.Float64("duration", 2000, "trace duration in virtual ms")
 		burst     = flag.String("burst", "600:500:7.5", "burst window as start:dur:xN (rate multiplier), empty to disable")
 		seed      = flag.Int64("seed", 1, "load-generator seed")
-		mode      = flag.String("mode", "compare", "control mode: serve or compare")
+		mode      = flag.String("mode", "compare", "control mode: serve, compare or shard-compare")
+		region    = flag.Bool("region", false, "shard-compare: use the canonical region-scale demo (48 Orins, 32 tenants) instead of the flag-built pool and trace")
 		placement = flag.String("placement", "least-loaded", "static fleet's placement policy in compare mode")
 		objective = flag.String("objective", "latency", "per-mix scheduling objective: latency or fps")
 		scale     = flag.Float64("scale", 50, "solver-time stretch onto the virtual timeline (see cmd/serve)")
@@ -86,6 +98,8 @@ func main() {
 	)
 	var obsf cliutil.ObsFlags
 	obsf.Register(flag.CommandLine)
+	var shardf cliutil.ShardFlags
+	shardf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -147,11 +161,42 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	fmt.Printf("dispatching %d requests from %d tenants (burst %q) | pool %s, grow %s, max %d\n\n",
-		len(tr), len(specs), *burst, *devices, *grow, *maxDev)
+	if *region {
+		if *mode != "shard-compare" {
+			fatalf("-region requires -mode shard-compare")
+		}
+		cfg = shard.DemoRegionControl()
+		if tr, err = shard.DemoRegionTrace(*seed); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("dispatching %d requests from the region demo (48 Orins, 32 tenants, fleet-wide burst)\n\n", len(tr))
+	} else {
+		fmt.Printf("dispatching %d requests from %d tenants (burst %q) | pool %s, grow %s, max %d\n\n",
+			len(tr), len(specs), *burst, *devices, *grow, *maxDev)
+	}
 
 	switch *mode {
 	case "serve":
+		if shardf.Shards > 1 {
+			scfg, err := shardConfig(cfg, &shardf, &obsf)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			plane, err := shard.New(scfg)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			sum, err := plane.Serve(tr)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			printShardSummary(sum)
+			if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+				func(w io.Writer) error { return report.ShardSummaryCSV(w, sum) }, sum); err != nil {
+				fatalf("%v", err)
+			}
+			break
+		}
 		ctrl, err := control.New(cfg)
 		if err != nil {
 			fatalf("%v", err)
@@ -180,12 +225,103 @@ func main() {
 			func(w io.Writer) error { return report.ControlComparisonCSV(w, cmp) }, cmp); err != nil {
 			fatalf("%v", err)
 		}
+	case "shard-compare":
+		scfg, err := shardConfig(cfg, &shardf, &obsf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := shard.Compare(scfg, tr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printShardCompare(res)
+		if err := cliutil.WriteOutputs(*csvOut, *jsonOut,
+			func(w io.Writer) error { return report.ShardComparisonCSV(w, res) }, res); err != nil {
+			fatalf("%v", err)
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
 	if err := obsf.WriteArtifacts(); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// shardConfig lifts the global control configuration plus the shard and
+// observability flags into the plane configuration. The fleet-level
+// sinks in cfg are ignored by the plane; the merged streams come from
+// the plane-level sinks.
+func shardConfig(cfg control.Config, shardf *cliutil.ShardFlags, obsf *cliutil.ObsFlags) (shard.Config, error) {
+	tenantPins, err := shardf.TenantShards()
+	if err != nil {
+		return shard.Config{}, err
+	}
+	devicePins, err := shardf.DeviceShards()
+	if err != nil {
+		return shard.Config{}, err
+	}
+	return shard.Config{
+		Control:               cfg,
+		Shards:                shardf.Shards,
+		GossipEveryTicks:      shardf.GossipEvery,
+		NoGossip:              shardf.NoGossip,
+		NoHandoff:             shardf.NoHandoff,
+		HandoffBacklogMs:      shardf.HandoffMs,
+		HandoffCooldownRounds: shardf.HandoffCooldown,
+		TenantShard:           tenantPins,
+		DeviceShard:           devicePins,
+		Tracer:                obsf.Tracer(),
+		Metrics:               obsf.Metrics(),
+		Audit:                 obsf.Audit(),
+	}, nil
+}
+
+func printShardSummary(sum *shard.Summary) {
+	fmt.Printf("== sharded plane | K=%d | gossip every %.0f ms | %d rounds | peak %d devices ==\n",
+		sum.Shards, sum.GossipEveryMs, sum.Rounds, sum.PeakDevices)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shard\ttenants\tcompleted\tp99\tviol\tSLO att.\tgossip tx/rx\twarm\tassists\tdeferred")
+	for _, ss := range sum.PerShard {
+		st := ss.Control.Fleet.Total
+		fmt.Fprintf(tw, "s%d\t%d\t%d\t%.2f\t%d\t%.1f%%\t%d/%d\t%d\t%d\t%d\n",
+			ss.Shard, len(ss.Tenants), st.Completed, st.P99Ms, st.Violations,
+			ss.Control.Fleet.SLOAttainmentPct, ss.GossipTxEntries, ss.GossipRxEntries,
+			ss.WarmHits, ss.SolveAssists, ss.Deferred)
+	}
+	fmt.Fprintf(tw, "plane\t%d\t%d\t%.2f\t%d\t%.1f%%\t%d/%d\t%d\t%d\t%d\n",
+		len(sum.Tenants), sum.Total.Completed, sum.Total.P99Ms, sum.Total.Violations,
+		sum.SLOAttainmentPct, sum.GossipTxEntries, sum.GossipRxEntries,
+		sum.WarmHits, sum.SolveAssists, sum.Deferred)
+	tw.Flush()
+	fmt.Printf("device-time %.0f ms | makespan %.0f ms\n", sum.DeviceMs, sum.DurationMs)
+	for _, ho := range sum.Handoffs {
+		fmt.Printf("  %8.1f ms  handoff %-12s s%d -> s%d (%s, backlog %.1f ms, %d arrivals moved)\n",
+			ho.AtMs, ho.Tenant, ho.From, ho.To, ho.Cause, ho.BacklogMs, ho.Moved)
+	}
+	fmt.Println()
+}
+
+func printShardCompare(res *shard.CompareResult) {
+	printShardSummary(res.Sharded)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\twall\treq/s (wall)\tp99\tviol\tSLO att.\tdevice-ms\tpeak")
+	st := res.Sharded.Total
+	fmt.Fprintf(tw, "sharded:K=%d\t%.1f ms\t%.0f\t%.2f\t%d\t%.2f%%\t%.0f\t%d\n",
+		res.Sharded.Shards, res.ShardedWallSec*1e3, res.ShardedReqPerSecWall,
+		st.P99Ms, st.Violations, res.Sharded.SLOAttainmentPct,
+		res.Sharded.DeviceMs, res.Sharded.PeakDevices)
+	gt := res.Global.Fleet.Total
+	fmt.Fprintf(tw, "global\t%.1f ms\t%.0f\t%.2f\t%d\t%.2f%%\t%.0f\t%d\n",
+		res.GlobalWallSec*1e3, res.GlobalReqPerSecWall,
+		gt.P99Ms, gt.Violations, res.GlobalSLOAttainmentPct,
+		res.Global.DeviceMs, res.Global.PeakDevices)
+	tw.Flush()
+	speedup := 0.0
+	if res.GlobalReqPerSecWall > 0 {
+		speedup = res.ShardedReqPerSecWall / res.GlobalReqPerSecWall
+	}
+	fmt.Printf("\nsharded wall speedup %.2fx (%d offered requests; warm hits %d, assists %d)\n",
+		speedup, res.Offered, res.Sharded.WarmHits, res.Sharded.SolveAssists)
 }
 
 // buildTrace generates the base trace and overlays the burst window.

@@ -29,6 +29,12 @@
 //     windows, and per-engine portfolio totals (nodes, evaluations,
 //     merged incumbents, wins, optimality proofs) from "engine" events.
 //
+// Traces from a sharded plane (control -shards K > 1) additionally get a
+// shard section: per-shard gossip-round totals (exported/imported cache
+// entries, assist solves performed for other shards, peak barrier
+// backlog) from "gossip" events and the tenant handoff log from
+// "handoff" events, plus any shard.* counters from the metrics file.
+//
 // Examples:
 //
 //	serve -mode aware -trace-jsonl trace.jsonl && obsreport -jsonl trace.jsonl
@@ -107,6 +113,27 @@ type EngineRow struct {
 	Proofs     int     `json:"proofs"`
 }
 
+// ShardGossipRow aggregates one shard's barrier-round gossip activity
+// from its "gossip" events.
+type ShardGossipRow struct {
+	Shard     int     `json:"shard"`
+	Rounds    int     `json:"rounds"`
+	TxEntries int     `json:"tx_entries"`
+	RxEntries int     `json:"rx_entries"`
+	Assists   int     `json:"assists"`
+	PeakBklMs float64 `json:"peak_backlog_ms"`
+}
+
+// HandoffRow is one cross-shard tenant handoff from a "handoff" event.
+type HandoffRow struct {
+	AtMs      float64 `json:"at_ms"`
+	Tenant    string  `json:"tenant"`
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Moved     int     `json:"moved"`
+	BacklogMs float64 `json:"backlog_ms"`
+}
+
 // UtilRow is one device's busy time within one fixed window.
 type UtilRow struct {
 	Device  string  `json:"device"`
@@ -117,15 +144,17 @@ type UtilRow struct {
 
 // Report is the full analysis, the JSON output format.
 type Report struct {
-	Events       int             `json:"events"`
-	Violations   int             `json:"violations"`
-	Classes      map[string]int  `json:"classes"`
-	Rows         []ViolationRow  `json:"violation_rows"`
-	Calibration  []obs.AuditStat `json:"calibration"`
-	Engines      []EngineRow     `json:"engines,omitempty"`
-	ScaleWindows []ScaleWindow   `json:"scale_windows,omitempty"`
-	Utilization  []UtilRow       `json:"utilization,omitempty"`
-	Metrics      []obs.Metric    `json:"metrics,omitempty"`
+	Events       int              `json:"events"`
+	Violations   int              `json:"violations"`
+	Classes      map[string]int   `json:"classes"`
+	Rows         []ViolationRow   `json:"violation_rows"`
+	Calibration  []obs.AuditStat  `json:"calibration"`
+	Engines      []EngineRow      `json:"engines,omitempty"`
+	Shards       []ShardGossipRow `json:"shards,omitempty"`
+	Handoffs     []HandoffRow     `json:"handoffs,omitempty"`
+	ScaleWindows []ScaleWindow    `json:"scale_windows,omitempty"`
+	Utilization  []UtilRow        `json:"utilization,omitempty"`
+	Metrics      []obs.Metric     `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -267,6 +296,7 @@ func Analyze(events []obs.Event, utilWindowMs float64) *Report {
 	forced := map[reqKey]bool{}
 	audit := obs.NewAudit()
 	engines := map[string]*EngineRow{}
+	shards := map[int]*ShardGossipRow{}
 	var windows []ScaleWindow
 	for _, e := range events {
 		switch e.Kind {
@@ -315,7 +345,36 @@ func Analyze(events []obs.Event, utilWindowMs float64) *Report {
 			if e.Metrics["proof"] > 0 {
 				row.Proofs++
 			}
+		case obs.KindGossip:
+			idx := int(e.Metrics["shard"])
+			row := shards[idx]
+			if row == nil {
+				row = &ShardGossipRow{Shard: idx}
+				shards[idx] = row
+			}
+			row.Rounds++
+			row.TxEntries += int(e.Metrics["tx_entries"])
+			row.RxEntries += int(e.Metrics["rx_entries"])
+			row.Assists += int(e.Metrics["assists"])
+			if e.Metrics["backlog_ms"] > row.PeakBklMs {
+				row.PeakBklMs = e.Metrics["backlog_ms"]
+			}
+		case obs.KindHandoff:
+			rep.Handoffs = append(rep.Handoffs, HandoffRow{
+				AtMs: e.AtMs, Tenant: e.Tenant,
+				From:  int(e.Metrics["from"]),
+				To:    int(e.Metrics["to"]),
+				Moved: int(e.Metrics["moved"]), BacklogMs: e.Value,
+			})
 		}
+	}
+	shardIdx := make([]int, 0, len(shards))
+	for idx := range shards {
+		shardIdx = append(shardIdx, idx)
+	}
+	sort.Ints(shardIdx)
+	for _, idx := range shardIdx {
+		rep.Shards = append(rep.Shards, *shards[idx])
 	}
 	rep.Calibration = audit.Snapshot()
 	rep.ScaleWindows = windows
@@ -488,6 +547,27 @@ func writeText(w io.Writer, rep *Report) error {
 		fmt.Fprintln(w)
 	}
 
+	if len(rep.Shards) > 0 {
+		fmt.Fprintln(w, "shard gossip (per-shard barrier-round totals):")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "shard\trounds\ttx entries\trx entries\tassists\tpeak backlog ms")
+		for _, s := range rep.Shards {
+			fmt.Fprintf(tw, "s%d\t%d\t%d\t%d\t%d\t%.1f\n",
+				s.Shard, s.Rounds, s.TxEntries, s.RxEntries, s.Assists, s.PeakBklMs)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.Handoffs) > 0 {
+		fmt.Fprintln(w, "tenant handoffs:")
+		for _, h := range rep.Handoffs {
+			fmt.Fprintf(w, "  %8.1f ms  %-12s s%d -> s%d (%d arrivals, backlog %.1f ms)\n",
+				h.AtMs, h.Tenant, h.From, h.To, h.Moved, h.BacklogMs)
+		}
+		fmt.Fprintln(w)
+	}
+
 	if len(rep.ScaleWindows) > 0 {
 		fmt.Fprintln(w, "scale-pressure windows (watermark trip -> backlog cleared):")
 		for _, sw := range rep.ScaleWindows {
@@ -513,12 +593,13 @@ func writeText(w io.Writer, rep *Report) error {
 
 	var interesting []obs.Metric
 	for _, m := range rep.Metrics {
-		if strings.HasPrefix(m.Name, "audit.") || strings.HasPrefix(m.Name, "control.") {
+		if strings.HasPrefix(m.Name, "audit.") || strings.HasPrefix(m.Name, "control.") ||
+			strings.HasPrefix(m.Name, "shard.") {
 			interesting = append(interesting, m)
 		}
 	}
 	if len(interesting) > 0 {
-		fmt.Fprintln(w, "metrics (audit/control):")
+		fmt.Fprintln(w, "metrics (audit/control/shard):")
 		for _, m := range interesting {
 			fmt.Fprintf(w, "  %-48s %.4f\n", m.Name, m.Value)
 		}
@@ -556,6 +637,14 @@ func writeCSV(w io.Writer, rep *Report) error {
 	for _, e := range rep.Engines {
 		rows = append(rows, pad([]string{"engine", e.Engine, i(e.Solves), i(e.Wins),
 			i(e.Proofs), f(e.Nodes), f(e.Evals), f(e.Incumbents)}))
+	}
+	for _, s := range rep.Shards {
+		rows = append(rows, pad([]string{"shard-gossip", i(s.Shard), i(s.Rounds),
+			i(s.TxEntries), i(s.RxEntries), i(s.Assists), f(s.PeakBklMs)}))
+	}
+	for _, h := range rep.Handoffs {
+		rows = append(rows, pad([]string{"handoff", f(h.AtMs), h.Tenant,
+			i(h.From), i(h.To), i(h.Moved), f(h.BacklogMs)}))
 	}
 	for _, sw := range rep.ScaleWindows {
 		rows = append(rows, pad([]string{"scale-window", f(sw.TripMs), f(sw.ClearMs), i(sw.LagTicks)}))

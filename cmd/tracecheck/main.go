@@ -31,11 +31,16 @@ const defaultStages = "arrive,admit,mix-form,mix-score,cache-hit,cache-miss,cach
 // presets maps each layer's canonical demo to the stages it must emit:
 // serve is the lifecycle above plus the predicted-vs-actual audit pairs;
 // fleet (mix-aware placement, contention-aware mixes) adds placement;
-// control (burst demo) adds scale decisions and pool snapshots.
+// control (burst demo) adds scale decisions and pool snapshots; shard
+// (a K=4 plane with a hot tenant and no growth headroom, e.g.
+// control -mode serve -shards 4 -devices Orin:4 -max 4 -handoff-backlog 10
+// with one tenant's rate boosted) adds the gossip barrier rounds and the
+// cross-shard tenant handoff.
 var presets = map[string]string{
 	"serve":   defaultStages + ",audit",
 	"fleet":   "arrive,admit,place,mix-form,mix-score,cache-hit,dispatch,complete,violate,audit",
 	"control": "arrive,admit,place,scale,pool,mix-form,cache-hit,dispatch,complete,violate,audit",
+	"shard":   "arrive,admit,place,pool,mix-form,cache-hit,cache-miss,dispatch,complete,violate,audit,gossip,handoff",
 }
 
 func main() {
@@ -43,7 +48,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate")
 		jsonlPath   = flag.String("jsonl", "", "trace JSONL file to validate")
 		metricsPath = flag.String("metrics", "", "metrics JSONL file to validate")
-		preset      = flag.String("preset", "", "stage preset for a layer's canonical demo: serve, fleet or control (overridden by -stages)")
+		preset      = flag.String("preset", "", "stage preset for a layer's canonical demo: serve, fleet, control or shard (overridden by -stages)")
 		stages      = flag.String("stages", "", "comma-separated event kinds that must each appear at least once (default: the serve lifecycle, or -preset's stages)")
 	)
 	flag.Parse()
@@ -56,7 +61,7 @@ func main() {
 		if *preset != "" {
 			p, ok := presets[*preset]
 			if !ok {
-				fail("unknown -preset %q (want serve, fleet or control)", *preset)
+				fail("unknown -preset %q (want serve, fleet, control or shard)", *preset)
 			}
 			want = p
 		}

@@ -13,7 +13,15 @@
 // barrier rounds, merging their incumbent streams on the virtual node
 // clock so schedule-cache upgrades stay byte-identical run to run;
 // internal/fleet extends mix-awareness above
-// the device boundary with the mix-aware placement policy; internal/obs
+// the device boundary with the mix-aware placement policy;
+// internal/shard scales the control plane itself — K shard controllers
+// over a tenant/device partition, stepped concurrently between
+// deterministic barrier rounds that gossip solved schedule-cache
+// entries (one solver run per mix region-wide, via per-mix solve
+// ownership) and load summaries for cross-shard tenant handoff, beating
+// one global controller on wall-clock req/sec at better SLO attainment
+// on the region-scale demo while keeping merged summaries
+// byte-identical; internal/obs
 // adds deterministic observability — request-lifecycle tracing exported
 // as Perfetto-loadable Chrome trace JSON, streaming-sketch percentiles,
 // and a counter registry — threaded through serve, fleet and control

@@ -104,6 +104,91 @@ func PortfolioFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("portfolio", false, "solve with the parallel engine portfolio (B&B + SAT + local search sharing incumbents) instead of B&B alone")
 }
 
+// ShardFlags bundles the sharded-control-plane flags (cmd/control's
+// shard-compare and sharded serve modes): shard count, gossip barrier
+// period, the ablation switches, handoff tuning, and the explicit
+// tenant/device pinning specs.
+type ShardFlags struct {
+	Shards          int
+	GossipEvery     int
+	NoGossip        bool
+	NoHandoff       bool
+	HandoffMs       float64
+	HandoffCooldown int
+	TenantSpec      string
+	DeviceSpec      string
+}
+
+// Register installs the shard flags on fs (pass flag.CommandLine for the
+// default set).
+func (s *ShardFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&s.Shards, "shards", 1, "partition the control plane into this many shards stepped concurrently (1 = the plain global controller)")
+	fs.IntVar(&s.GossipEvery, "gossip-every", 0, "gossip barrier period in control ticks (0 = shard default)")
+	fs.BoolVar(&s.NoGossip, "no-gossip", false, "disable schedule-cache gossip between shards (barriers still run for handoff)")
+	fs.BoolVar(&s.NoHandoff, "no-handoff", false, "disable cross-shard tenant handoff")
+	fs.Float64Var(&s.HandoffMs, "handoff-backlog", 0, "mean backlog ms per device above which a shard hands a tenant off (0 = shard default)")
+	fs.IntVar(&s.HandoffCooldown, "handoff-cooldown", 0, "barrier rounds a moved tenant rests before moving again (0 = shard default)")
+	fs.StringVar(&s.TenantSpec, "tenant-shards", "", "pin tenants to shards as name=shard, comma-separated (unpinned tenants deal round-robin)")
+	fs.StringVar(&s.DeviceSpec, "device-shards", "", "pin initial devices to shards as poolIndex=shard, comma-separated")
+}
+
+// TenantShards parses the -tenant-shards spec into the plane's pinning
+// map.
+func (s *ShardFlags) TenantShards() (map[string]int, error) {
+	return ParseTenantShards(s.TenantSpec)
+}
+
+// DeviceShards parses the -device-shards spec into the plane's pinning
+// map.
+func (s *ShardFlags) DeviceShards() (map[int]int, error) {
+	return ParseDeviceShards(s.DeviceSpec)
+}
+
+// ParseTenantShards parses a tenant-pinning spec ("cam-a=0,scorer-b=2")
+// into tenant name → shard index. Empty input yields a nil map (no pins).
+func ParseTenantShards(spec string) (map[string]int, error) {
+	var out map[string]int
+	for _, part := range SplitList(spec) {
+		name, idxStr, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+		if !ok || name == "" || err != nil || idx < 0 {
+			return nil, fmt.Errorf("tenant-shard %q: want name=shard with shard >= 0", part)
+		}
+		if out == nil {
+			out = map[string]int{}
+		}
+		if prev, dup := out[name]; dup && prev != idx {
+			return nil, fmt.Errorf("tenant-shard %q: %s already pinned to shard %d", part, name, prev)
+		}
+		out[name] = idx
+	}
+	return out, nil
+}
+
+// ParseDeviceShards parses a device-pinning spec ("0=1,3=0") — keys are
+// positions in the expanded initial pool — into position → shard index.
+// Empty input yields a nil map (no pins).
+func ParseDeviceShards(spec string) (map[int]int, error) {
+	var out map[int]int
+	for _, part := range SplitList(spec) {
+		posStr, idxStr, ok := strings.Cut(part, "=")
+		pos, err1 := strconv.Atoi(strings.TrimSpace(posStr))
+		idx, err2 := strconv.Atoi(strings.TrimSpace(idxStr))
+		if !ok || err1 != nil || err2 != nil || pos < 0 || idx < 0 {
+			return nil, fmt.Errorf("device-shard %q: want poolIndex=shard, both >= 0", part)
+		}
+		if out == nil {
+			out = map[int]int{}
+		}
+		if prev, dup := out[pos]; dup && prev != idx {
+			return nil, fmt.Errorf("device-shard %q: device %d already pinned to shard %d", part, pos, prev)
+		}
+		out[pos] = idx
+	}
+	return out, nil
+}
+
 // SplitList splits a comma-separated list, trimming whitespace and
 // dropping empty entries.
 func SplitList(s string) []string {

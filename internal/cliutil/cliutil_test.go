@@ -196,3 +196,46 @@ func TestFleetCacheSaveLoadRoundTrip(t *testing.T) {
 		t.Error("Orin cache empty after import")
 	}
 }
+
+// TestParseTenantShards: the tenant-pinning spec round-trips, rejects
+// malformed entries, and treats empty input as "no pins".
+func TestParseTenantShards(t *testing.T) {
+	m, err := ParseTenantShards("cam-a=0, scorer-b=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["cam-a"] != 0 || m["scorer-b"] != 2 {
+		t.Errorf("parsed %v", m)
+	}
+	if m, err := ParseTenantShards(""); err != nil || m != nil {
+		t.Errorf("empty spec: m=%v err=%v", m, err)
+	}
+	for _, bad := range []string{"cam-a", "cam-a=x", "=1", "cam-a=-1", "cam-a=0,cam-a=1"} {
+		if _, err := ParseTenantShards(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	// Re-pinning to the same shard is harmless, not a conflict.
+	if _, err := ParseTenantShards("cam-a=1,cam-a=1"); err != nil {
+		t.Errorf("idempotent pin rejected: %v", err)
+	}
+}
+
+// TestParseDeviceShards: same contract for the device-pinning spec.
+func TestParseDeviceShards(t *testing.T) {
+	m, err := ParseDeviceShards("0=1,3=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0] != 1 || m[3] != 0 {
+		t.Errorf("parsed %v", m)
+	}
+	if m, err := ParseDeviceShards(" "); err != nil || m != nil {
+		t.Errorf("blank spec: m=%v err=%v", m, err)
+	}
+	for _, bad := range []string{"0", "a=0", "0=b", "-1=0", "0=-2", "0=0,0=1"} {
+		if _, err := ParseDeviceShards(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

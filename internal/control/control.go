@@ -321,16 +321,21 @@ func New(cfg Config) (*Controller, error) {
 func (c *Controller) Config() Config { return c.cfg }
 
 // Serve executes the trace under the control plane and returns the control
-// summary. The trace may be unsorted.
+// summary. The trace may be unsorted. Serve is Start + Advance to
+// infinity + Finish (see Driver), so a one-shot run and an incrementally
+// driven run of the same trace are byte-identical.
 func (c *Controller) Serve(tr serve.Trace) (*Summary, error) {
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("control: empty trace")
 	}
-	r, err := newRun(c.cfg)
+	d, err := c.Start(tr)
 	if err != nil {
 		return nil, err
 	}
-	return r.serve(tr)
+	if _, err := d.Advance(math.Inf(1)); err != nil {
+		return nil, err
+	}
+	return d.Finish(), nil
 }
 
 // run is the per-Serve state: the fleet, the sticky table, and the
@@ -419,45 +424,6 @@ func newRun(cfg Config) (*run, error) {
 	r.prevBusy = make([]float64, n)
 	r.peak = n
 	return r, nil
-}
-
-// serve is the event loop: arrivals, device rounds and control ticks
-// interleave on one virtual timeline in deterministic order (arrivals
-// first at a tie, then ticks, then rounds).
-func (r *run) serve(tr serve.Trace) (*Summary, error) {
-	reqs := append(serve.Trace(nil), tr...)
-	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].ArrivalMs < reqs[j].ArrivalMs })
-
-	nextTick := r.cfg.TickMs
-	next := 0
-	for next < len(reqs) || r.fleet.Pending() > 0 {
-		di, tDev := r.fleet.NextRound()
-		tArr := math.Inf(1)
-		if next < len(reqs) {
-			tArr = reqs[next].ArrivalMs
-		}
-		if tArr <= nextTick && tArr <= tDev {
-			if _, _, err := r.fleet.Offer(reqs[next]); err != nil {
-				return nil, err
-			}
-			next++
-			continue
-		}
-		if nextTick <= tDev {
-			if err := r.tick(nextTick); err != nil {
-				return nil, err
-			}
-			nextTick += r.cfg.TickMs
-			continue
-		}
-		if di < 0 {
-			return nil, fmt.Errorf("control: pending work but no steppable device")
-		}
-		if err := r.fleet.Step(di); err != nil {
-			return nil, err
-		}
-	}
-	return r.summarize(), nil
 }
 
 // tick runs one control period: ingest completions into the tenant

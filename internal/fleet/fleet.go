@@ -90,6 +90,17 @@ type Config struct {
 	// PrivateCaches gives every device its own schedule cache instead of
 	// sharing one per platform (for measuring what sharing is worth).
 	PrivateCaches bool
+	// CacheSolveOwner partitions background solving across cooperating
+	// fleets (the sharded control plane's solve ownership): mixes this
+	// predicate rejects are served naive and reported as wanted instead of
+	// solved locally; see serve.CacheConfig.SolveOwner. Applied to every
+	// platform cache. Nil solves everything locally.
+	CacheSolveOwner func(mixKey string) bool
+	// CacheChars shares one characterization memo across cooperating
+	// fleets' platform caches (see serve.CacheConfig.Chars): the sharded
+	// plane characterizes each distinct mix once region-wide. Nil
+	// characterizes per cache.
+	CacheChars *serve.CharMemo
 	// AdaptiveMaxWait passes the slack-scaled starvation bound to every
 	// device; see serve.Config.AdaptiveMaxWait.
 	AdaptiveMaxWait bool
@@ -193,6 +204,8 @@ func (f *Fleet) addDevice(platform, mixPolicy string) (serve.Device, error) {
 				SolverTimeScale: f.cfg.SolverTimeScale,
 				MaxGroups:       f.cfg.MaxGroups,
 				Portfolio:       f.cfg.Portfolio,
+				SolveOwner:      f.cfg.CacheSolveOwner,
+				Chars:           f.cfg.CacheChars,
 			})
 			if err != nil {
 				return nil, err

@@ -117,6 +117,34 @@ func (a *Audit) Observe(layer, scope, key string, predictedMs, actualMs float64)
 	agg.buckets[CalibrationBucket(predictedMs, actualMs)]++
 }
 
+// Merge folds another audit's aggregates into this one: the underlying
+// sums, counts and calibration buckets add exactly, so merging K
+// per-shard audits (in shard order) yields the same statistics one shared
+// audit would have accumulated — modulo float summation order, which is
+// fixed by the deterministic merge order. No-op when either side is nil;
+// the other audit is not mutated.
+func (a *Audit) Merge(other *Audit) {
+	if a == nil || other == nil {
+		return
+	}
+	for id, src := range other.aggs {
+		agg := a.aggs[id]
+		if agg == nil {
+			agg = &auditAgg{layer: src.layer, scope: src.scope, key: src.key}
+			a.aggs[id] = agg
+		}
+		agg.count += src.count
+		agg.mapeCount += src.mapeCount
+		agg.sumPred += src.sumPred
+		agg.sumAct += src.sumAct
+		agg.sumErr += src.sumErr
+		agg.sumAbsPct += src.sumAbsPct
+		for i := range agg.buckets {
+			agg.buckets[i] += src.buckets[i]
+		}
+	}
+}
+
 // Len returns the number of live aggregates (0 on a nil audit).
 func (a *Audit) Len() int {
 	if a == nil {

@@ -24,6 +24,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 )
 
 // NoRequest marks an event that is not scoped to a single request
@@ -65,6 +66,13 @@ const (
 	// portfolio engine's effort on one background solve.
 	KindAudit  = "audit"
 	KindEngine = "engine"
+
+	// Sharded control plane (internal/shard): "gossip" is one shard's
+	// view of one barrier-round exchange (entries sent/received, load
+	// report); "handoff" records a tenant moved off an SLO-pressured
+	// shard at a barrier.
+	KindGossip  = "gossip"
+	KindHandoff = "handoff"
 )
 
 // Event is one structured observation on the virtual timeline.
@@ -134,6 +142,25 @@ func (t *Tracer) Events() []Event {
 		return nil
 	}
 	return append([]Event(nil), t.events...)
+}
+
+// MergeTracers folds several tracers' streams into one chronological
+// trace: events are stably sorted by virtual time, ties resolved by
+// tracer order then emission order. The sharded control plane records
+// each shard into its own tracer (Tracer is not safe for concurrent
+// Emit) and merges after the barrier-synchronized run, so the combined
+// trace is byte-identical run to run. Nil tracers are skipped; the
+// inputs are not mutated.
+func MergeTracers(tracers ...*Tracer) *Tracer {
+	out := NewTracer()
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		out.events = append(out.events, t.events...)
+	}
+	sort.SliceStable(out.events, func(i, j int) bool { return out.events[i].AtMs < out.events[j].AtMs })
+	return out
 }
 
 // CountByKind tallies the recorded events per kind (for tests and

@@ -16,6 +16,7 @@ import (
 	"haxconn/internal/obs"
 	"haxconn/internal/profiler"
 	"haxconn/internal/serve"
+	"haxconn/internal/shard"
 )
 
 // WriteJSON serializes any artifact value as indented JSON.
@@ -340,6 +341,68 @@ func ControlComparisonCSV(w io.Writer, cmp *control.CompareResult) error {
 		cmp.Static.SLOAttainmentPct, cmp.StaticDeviceMs,
 		len(cmp.Static.Devices), 0, 0, 0, cmp.Static.MixPolicy); err != nil {
 		return err
+	}
+	return c.flush()
+}
+
+// ShardSummaryCSV writes a sharded run's merged summary: the plane
+// totals first, then one row per shard.
+func ShardSummaryCSV(w io.Writer, sum *shard.Summary) error {
+	c := newCSV(w)
+	if err := c.row("shard", "tenants", "slo_attainment_pct", "violations",
+		"p99_ms", "device_ms", "peak_devices", "gossip_tx", "gossip_rx",
+		"warm_hits", "solve_assists", "deferred"); err != nil {
+		return err
+	}
+	if err := c.row("plane", "", sum.SLOAttainmentPct, sum.Total.Violations,
+		sum.Total.P99Ms, sum.DeviceMs, sum.PeakDevices, sum.GossipTxEntries,
+		sum.GossipRxEntries, sum.WarmHits, sum.SolveAssists, sum.Deferred); err != nil {
+		return err
+	}
+	for _, ss := range sum.PerShard {
+		if err := c.row(ss.Shard, len(ss.Tenants),
+			ss.Control.Fleet.SLOAttainmentPct, ss.Control.Fleet.Total.Violations,
+			ss.Control.Fleet.Total.P99Ms, ss.Control.DeviceMs, ss.Control.PeakDevices,
+			ss.GossipTxEntries, ss.GossipRxEntries, ss.WarmHits, ss.SolveAssists,
+			ss.Deferred); err != nil {
+			return err
+		}
+	}
+	return c.flush()
+}
+
+// ShardComparisonCSV writes the sharded-vs-global comparison: one row
+// per leg with the wall-clock throughput and serving quality, then one
+// row per shard with its gossip and partition counters.
+func ShardComparisonCSV(w io.Writer, res *shard.CompareResult) error {
+	c := newCSV(w)
+	if err := c.row("config", "shards", "wall_sec", "req_per_sec_wall",
+		"slo_attainment_pct", "violations", "p99_ms", "device_ms", "peak_devices",
+		"gossip_tx", "gossip_rx", "warm_hits", "solve_assists", "deferred",
+		"handoffs", "rounds"); err != nil {
+		return err
+	}
+	s := res.Sharded
+	if err := c.row("sharded", s.Shards, res.ShardedWallSec, res.ShardedReqPerSecWall,
+		s.SLOAttainmentPct, s.Total.Violations, s.Total.P99Ms, s.DeviceMs, s.PeakDevices,
+		s.GossipTxEntries, s.GossipRxEntries, s.WarmHits, s.SolveAssists, s.Deferred,
+		len(s.Handoffs), s.Rounds); err != nil {
+		return err
+	}
+	g := res.Global
+	if err := c.row("global", 1, res.GlobalWallSec, res.GlobalReqPerSecWall,
+		g.Fleet.SLOAttainmentPct, g.Fleet.Total.Violations, g.Fleet.Total.P99Ms,
+		g.DeviceMs, g.PeakDevices, 0, 0, 0, 0, 0, 0, 0); err != nil {
+		return err
+	}
+	for _, ss := range s.PerShard {
+		if err := c.row(fmt.Sprintf("shard:%d", ss.Shard), 1, "", "",
+			ss.Control.Fleet.SLOAttainmentPct, ss.Control.Fleet.Total.Violations,
+			ss.Control.Fleet.Total.P99Ms, ss.Control.DeviceMs, ss.Control.PeakDevices,
+			ss.GossipTxEntries, ss.GossipRxEntries, ss.WarmHits, ss.SolveAssists,
+			ss.Deferred, "", ""); err != nil {
+			return err
+		}
 	}
 	return c.flush()
 }

@@ -51,6 +51,21 @@ type CacheConfig struct {
 	// the same deterministic node clock, so upgrade timing stays
 	// byte-identical run to run.
 	Portfolio bool
+	// SolveOwner, when set, partitions the background-solving work across
+	// cooperating caches (the sharded control plane's deterministic solve
+	// ownership): a miss or probe on a mix this cache does not own is
+	// characterized and served on its naive schedule, but *not* solved —
+	// the key is recorded as wanted (Wanted) and the owning shard's settled
+	// schedule is expected over the gossip channel, which upgrades the
+	// deferred entry in place (GossipSeed). Nil means the cache owns every
+	// mix.
+	SolveOwner func(mixKey string) bool
+	// Chars, when set, shares characterization tables across caches of the
+	// identical configuration (same platform, objective, group cap): the
+	// sharded plane gives all K shards one memo, so each distinct mix is
+	// characterized once region-wide instead of once per shard. Nil
+	// characterizes locally.
+	Chars *CharMemo
 }
 
 // defaultSolverNodesPerMs approximates the measured B&B node rate on the
@@ -109,6 +124,21 @@ type Cache struct {
 	// serving value.
 	Probes     int
 	Promotions int
+	// WarmHits counts gossip-seeded entries (GossipSeed) that produced at
+	// least one real Lookup hit — each one is a local characterize+solve
+	// this cache skipped because another shard had already done the work.
+	// Counted once per entry, not per hit.
+	WarmHits int
+	// Deferred counts misses and probes whose solve was skipped because
+	// SolveOwner assigned the mix to another cache; Assists counts solves
+	// this cache ran on behalf of another shard's wanted mix
+	// (EnsureSolved).
+	Deferred int
+	Assists  int
+
+	// wanted tracks deferred mixes (key → canonical networks) still
+	// awaiting the owner's gossiped schedule.
+	wanted map[string][]string
 }
 
 // AttachTracer wires cache-internal events (probe builds, probe
@@ -240,6 +270,11 @@ type Entry struct {
 	// immediately rather than replaying the stream against a clock it
 	// predates.
 	settled bool
+	// gossiped marks an entry created by GossipSeed — a schedule another
+	// shard solved, imported over the gossip channel. The first Lookup hit
+	// on such an entry counts as a warm hit (see Cache.WarmHits) and
+	// clears the mark.
+	gossiped bool
 }
 
 // NewCache builds an empty cache.
@@ -252,7 +287,108 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		entries:  map[string]*Entry{},
 		probes:   map[string]*Entry{},
 		probeErr: map[string]error{},
+		wanted:   map[string][]string{},
 	}, nil
+}
+
+// owned reports whether this cache solves the given mix key itself (true
+// without a SolveOwner partition).
+func (c *Cache) owned(key string) bool {
+	return c.cfg.SolveOwner == nil || c.cfg.SolveOwner(key)
+}
+
+// deferSolve records a mix whose solve belongs to another cache in the
+// ownership partition: the entry keeps serving its naive schedule and the
+// key stays wanted until the owner's gossiped schedule settles it.
+func (c *Cache) deferSolve(key string, canon []string) {
+	if _, ok := c.wanted[key]; ok {
+		return
+	}
+	c.Deferred++
+	c.wanted[key] = append([]string(nil), canon...)
+}
+
+// Want is one deferred mix: Key is the cache key — the exact string the
+// SolveOwner predicate saw, so the plane routes the want to the same
+// owner — and Networks the canonical mix to hand EnsureSolved.
+type Want struct {
+	Key      string
+	Networks []string
+}
+
+// Wanted lists the mixes whose solves this cache deferred to their owner
+// and that are still unsolved, sorted by key — the "wants" half of a
+// gossip round's report. Mixes settled since (the owner's schedule
+// arrived, or a local probe solved them) are dropped.
+func (c *Cache) Wanted() []Want {
+	keys := make([]string, 0, len(c.wanted))
+	for key := range c.wanted {
+		if e, ok := c.entries[key]; ok && (e.Any != nil || e.settled) {
+			delete(c.wanted, key)
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]Want, len(keys))
+	for i, key := range keys {
+		out[i] = Want{Key: key, Networks: c.wanted[key]}
+	}
+	return out
+}
+
+// EnsureSolved solves a mix this cache owns on behalf of another shard
+// that wants it: a live solved (or settled) entry is a no-op; a scoring
+// probe is promoted exactly as a Lookup would promote it; an unseen mix is
+// characterized and solved, anchored at nowMs, and registered — without
+// touching the hit/miss counters, since no local request asked for it. The
+// boolean reports whether a solve (or promotion) actually ran. The next
+// gossip round exports the settled result to the shards that wanted it.
+func (c *Cache) EnsureSolved(networks []string, nowMs float64) (bool, error) {
+	if len(networks) == 0 {
+		return false, fmt.Errorf("serve: empty workload mix")
+	}
+	key, canon := c.mixKey(networks)
+	if e, ok := c.entries[key]; ok {
+		if e.Any != nil || e.settled {
+			return false, nil
+		}
+		// A deferred stub on the owner itself cannot happen (owners solve
+		// their own misses), but solve in place defensively.
+		var err error
+		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
+		if err != nil {
+			return false, err
+		}
+		c.Assists++
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheSolve, Request: obs.NoRequest,
+			Detail: key, Value: float64(e.solverNodes())})
+		c.logSolve(e, nowMs)
+		return true, nil
+	}
+	if e, ok := c.probes[key]; ok {
+		delete(c.probes, key)
+		c.Promotions++
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCachePromote, Request: obs.NoRequest, Detail: key})
+		c.entries[key] = e
+		return true, nil
+	}
+	e, err := c.build(key, canon, nowMs)
+	if err != nil {
+		return false, err
+	}
+	if c.cfg.Solve {
+		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
+		if err != nil {
+			return false, err
+		}
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheSolve, Request: obs.NoRequest,
+			Detail: key, Value: float64(e.solverNodes())})
+		c.logSolve(e, nowMs)
+	}
+	c.Assists++
+	c.entries[key] = e
+	return true, nil
 }
 
 // Len returns the number of cached mixes.
@@ -283,7 +419,9 @@ func (c *Cache) Rewind() {
 		e.lastSched = nil
 	}
 	c.Hits, c.Misses, c.Upgrades = 0, 0, 0
-	c.Probes, c.Promotions = 0, 0
+	c.Probes, c.Promotions, c.WarmHits = 0, 0, 0
+	c.Deferred, c.Assists = 0, 0
+	c.wanted = map[string][]string{}
 	c.engines, c.barrierRounds = nil, 0
 }
 
@@ -304,6 +442,10 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 	key, canon := c.mixKey(networks)
 	if e, ok := c.entries[key]; ok {
 		c.Hits++
+		if e.gossiped {
+			e.gossiped = false
+			c.WarmHits++
+		}
 		return e, true, nil
 	}
 	c.Misses++
@@ -325,15 +467,21 @@ func (c *Cache) Lookup(networks []string, nowMs float64) (*Entry, bool, error) {
 			return nil, false, err
 		}
 	}
-	if c.cfg.Solve && e.Any == nil {
-		var err error
-		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
-		if err != nil {
-			return nil, false, err
+	if c.cfg.Solve && e.Any == nil && !e.settled {
+		if c.owned(key) {
+			var err error
+			e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
+			if err != nil {
+				return nil, false, err
+			}
+			c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheSolve, Request: obs.NoRequest,
+				Detail: key, Value: float64(e.solverNodes())})
+			c.logSolve(e, nowMs)
+		} else {
+			// Another shard owns this mix's solve: serve naive for now and
+			// ask for the owner's schedule at the next gossip barrier.
+			c.deferSolve(key, canon)
 		}
-		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheSolve, Request: obs.NoRequest,
-			Detail: key, Value: float64(e.solverNodes())})
-		c.logSolve(e, nowMs)
 	}
 	c.entries[key] = e
 	return e, false, nil
@@ -372,10 +520,14 @@ func (c *Cache) Probe(networks []string, nowMs float64) (*Entry, bool, error) {
 		return nil, false, err
 	}
 	if c.cfg.Solve {
-		e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
-		if err != nil {
-			c.probeErr[key] = err
-			return nil, false, err
+		if c.owned(key) {
+			e.Any, err = core.AnytimeFromProfile(c.request(canon), e.Prob, e.Profile)
+			if err != nil {
+				c.probeErr[key] = err
+				return nil, false, err
+			}
+		} else {
+			c.deferSolve(key, canon)
 		}
 	}
 	c.Probes++
@@ -439,7 +591,7 @@ func (c *Cache) ProbeAll(mixes [][]string, nowMs float64) ([]*Entry, []error) {
 			go func(b *build) {
 				defer wg.Done()
 				e, err := c.build(b.key, b.canon, nowMs)
-				if err == nil && c.cfg.Solve {
+				if err == nil && c.cfg.Solve && c.owned(b.key) {
 					e.Any, err = core.AnytimeFromProfile(c.request(b.canon), e.Prob, e.Profile)
 				}
 				b.e, b.err = e, err
@@ -450,6 +602,9 @@ func (c *Cache) ProbeAll(mixes [][]string, nowMs float64) ([]*Entry, []error) {
 			if b.err != nil {
 				c.probeErr[b.key] = b.err
 				continue
+			}
+			if c.cfg.Solve && !c.owned(b.key) {
+				c.deferSolve(b.key, b.canon)
 			}
 			c.Probes++
 			c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCacheProbe, Request: obs.NoRequest,
@@ -490,7 +645,20 @@ func (c *Cache) request(canon []string) core.Request {
 // effectiveness counters — Lookup, SeedFromSchedule and Import each finish
 // it their own way.
 func (c *Cache) build(key string, canon []string, nowMs float64) (*Entry, error) {
-	prob, pr, err := core.Prepare(c.request(canon))
+	var (
+		prob  *schedule.Problem
+		pr    *schedule.Profile
+		naive *schedule.Schedule
+		err   error
+	)
+	if c.cfg.Chars != nil {
+		prob, pr, naive, err = c.cfg.Chars.characterize(c, key, canon)
+	} else {
+		prob, pr, err = core.Prepare(c.request(canon))
+		if err == nil {
+			naive = baselines.GPUOnly(pr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -499,7 +667,7 @@ func (c *Cache) build(key string, canon []string, nowMs float64) (*Entry, error)
 		Networks:  canon,
 		Prob:      prob,
 		Profile:   pr,
-		Naive:     baselines.GPUOnly(pr),
+		Naive:     naive,
 		CreatedMs: nowMs,
 		cache:     c,
 		evals:     map[string]*schedule.Eval{},
@@ -546,6 +714,9 @@ func (c *Cache) FillMetrics(reg *obs.Registry) {
 	reg.Set(p+"upgrades", float64(c.Upgrades))
 	reg.Set(p+"probes", float64(c.Probes))
 	reg.Set(p+"promotions", float64(c.Promotions))
+	reg.Set(p+"warm_hits", float64(c.WarmHits))
+	reg.Set(p+"deferred", float64(c.Deferred))
+	reg.Set(p+"assists", float64(c.Assists))
 	if len(c.engines) > 0 {
 		reg.Set(p+"barrier_rounds", float64(c.barrierRounds))
 		names := make([]string, 0, len(c.engines))

@@ -1,0 +1,63 @@
+// CharMemo: a characterization memo shared across caches of identical
+// configuration. Characterize is deterministic in (platform, mix, group
+// cap) and the resulting Problem/Profile are never mutated after
+// construction, so caches on different shards can share one table per
+// distinct mix instead of each recomputing it — on the sharded control
+// plane this is the second half of the duplicate-work elimination, next
+// to solve ownership: K shards serving the same network zoo would
+// otherwise characterize every mix K times.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"haxconn/internal/baselines"
+	"haxconn/internal/core"
+	"haxconn/internal/schedule"
+)
+
+// charTables is one memoized characterization. Problem and Profile are
+// shared read-only between every adopting entry; the naive schedule is
+// cloned per entry (entries may seed solvers with it).
+type charTables struct {
+	prob  *schedule.Problem
+	pr    *schedule.Profile
+	naive *schedule.Schedule
+}
+
+// CharMemo memoizes characterizations across caches. Safe for concurrent
+// use; the lock is held across a miss's Characterize so a mix is computed
+// exactly once no matter how many shards race to build it. Purely an
+// evaluation-sharing device: every value handed out is byte-identical to
+// what the cache would have computed alone, so memoized runs produce
+// identical summaries, metrics and traces.
+type CharMemo struct {
+	mu sync.Mutex
+	m  map[string]charTables
+}
+
+// NewCharMemo builds an empty memo.
+func NewCharMemo() *CharMemo {
+	return &CharMemo{m: map[string]charTables{}}
+}
+
+// characterize returns the tables for the cache's mix, computing and
+// memoizing them on first sight. The memo key includes the platform and
+// group cap on top of the cache key (which already carries the mix and
+// objective), so heterogeneous fleets sharing one memo never cross wires.
+func (cm *CharMemo) characterize(c *Cache, key string, canon []string) (*schedule.Problem, *schedule.Profile, *schedule.Schedule, error) {
+	id := fmt.Sprintf("%s|%d|%s", c.cfg.Platform.Name, c.cfg.MaxGroups, key)
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if t, ok := cm.m[id]; ok {
+		return t.prob, t.pr, t.naive.Clone(), nil
+	}
+	prob, pr, err := core.Prepare(c.request(canon))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t := charTables{prob: prob, pr: pr, naive: baselines.GPUOnly(pr)}
+	cm.m[id] = t
+	return t.prob, t.pr, t.naive.Clone(), nil
+}

@@ -14,16 +14,21 @@ import (
 	"sort"
 
 	"haxconn/internal/core"
+	"haxconn/internal/obs"
 	"haxconn/internal/schedule"
 )
 
 // EntrySnapshot is one persisted cache entry: a canonical workload mix and
 // the best-known assignment for it. The characterization tables are not
 // persisted — they are deterministic in (platform, mix, max groups) and are
-// recomputed on load.
+// recomputed on load. Solved marks entries whose assignment came from a
+// finished (or settled) solve; a deferred stub — a mix whose solve belongs
+// to another shard in a solve-ownership partition — exports its naive
+// schedule unsolved, and importers skip it.
 type EntrySnapshot struct {
 	Networks []string `json:"networks"`
 	Assign   [][]int  `json:"assign"`
+	Solved   bool     `json:"solved"`
 }
 
 // CacheSnapshot is a persisted schedule cache: the configuration that keys
@@ -53,6 +58,7 @@ func (c *Cache) Export() *CacheSnapshot {
 		snap.Entries = append(snap.Entries, EntrySnapshot{
 			Networks: append([]string(nil), e.Networks...),
 			Assign:   e.Best().Clone().Assign,
+			Solved:   e.Any != nil || e.settled || !c.cfg.Solve,
 		})
 	}
 	return snap
@@ -79,6 +85,11 @@ func (c *Cache) Import(snap *CacheSnapshot) (int, error) {
 	}
 	n := 0
 	for _, es := range snap.Entries {
+		if !es.Solved {
+			// A deferred stub's naive assignment is not worth settling: the
+			// owning shard's solve never reached this snapshot.
+			continue
+		}
 		key, canon := c.mixKey(es.Networks)
 		if _, ok := c.entries[key]; ok {
 			continue
@@ -112,32 +123,114 @@ func (c *Cache) Import(snap *CacheSnapshot) (int, error) {
 // time). An already-cached mix is left untouched. The boolean reports
 // whether the transferred schedule improved on the naive one.
 func (c *Cache) SeedFromSchedule(networks []string, donor *schedule.Schedule, nowMs float64) (bool, error) {
+	e, _, err := c.seedSchedule(networks, donor, nowMs, false)
+	if err != nil || e == nil {
+		return false, err
+	}
+	return e.Seeded != nil, nil
+}
+
+// GossipSeed registers a schedule another shard solved and gossiped. It is
+// SeedFromSchedule with warm-hit accounting: a fresh entry is marked
+// gossiped, so its first real Lookup hit counts in Cache.WarmHits — the
+// measure of local solves the gossip channel saved. The boolean reports
+// whether the import created (or promoted) an entry; re-gossiped mixes
+// that are already live return false without touching any state, so
+// repeated imports of the same entry are idempotent.
+func (c *Cache) GossipSeed(networks []string, donor *schedule.Schedule, nowMs float64) (bool, error) {
+	e, added, err := c.seedSchedule(networks, donor, nowMs, true)
+	if err != nil || e == nil {
+		return false, err
+	}
+	return added, nil
+}
+
+// seedSchedule is the shared core of SeedFromSchedule and GossipSeed: the
+// mix is characterized on this cache's platform, the donor schedule is
+// remapped onto its accelerators and re-costed on the ground-truth
+// simulator. A cross-platform transfer (gossiped false) is only a *seed*:
+// the donor's assignment was optimal somewhere else, so the background
+// solver — itself seeded with the transfer — keeps improving it, anchored
+// at nowMs. A gossiped transfer (gossiped true) comes from an identical
+// platform, objective and group cap, where the donor's schedule is already
+// the settled optimum: the entry adopts it settled, skipping the local
+// solve entirely — that skipped solve is exactly the work the gossip
+// channel exists to save.
+//
+// Idempotency: an already-live mix returns (nil, false, nil) without
+// touching entries or counters. A mix the scorer already probed is
+// *promoted* — characterization, incumbent stream and CreatedMs all kept,
+// exactly as a Lookup promotion — instead of being rebuilt; rebuilding
+// would orphan the probe and re-anchor its solve at the import time,
+// throwing away real solve progress. Promoted entries are never marked
+// gossiped: the local speculative solve did the work, the gossip merely
+// confirmed it.
+func (c *Cache) seedSchedule(networks []string, donor *schedule.Schedule, nowMs float64, gossiped bool) (*Entry, bool, error) {
 	if donor == nil {
-		return false, fmt.Errorf("serve: nil donor schedule")
+		return nil, false, fmt.Errorf("serve: nil donor schedule")
 	}
 	key, canon := c.mixKey(networks)
-	if _, ok := c.entries[key]; ok {
-		return false, nil
+	if e, ok := c.entries[key]; ok {
+		if !gossiped || e.Any != nil || e.settled {
+			return nil, false, nil
+		}
+		// A deferred stub (solve ownership sent this mix's solve to the
+		// donor shard): adopt the owner's settled schedule in place. The
+		// entry pointer is already in the dispatch path, so rounds upgrade
+		// from naive to the owner's optimum at their next deploy.
+		c.adoptDonor(e, donor)
+		e.settled = true
+		e.gossiped = true
+		return e, true, nil
+	}
+	if e, ok := c.probes[key]; ok {
+		delete(c.probes, key)
+		c.Promotions++
+		c.trace(obs.Event{AtMs: nowMs, Kind: obs.KindCachePromote, Request: obs.NoRequest, Detail: key})
+		if e.Seeded == nil {
+			c.adoptDonor(e, donor)
+		}
+		if gossiped && e.Any == nil && !e.settled {
+			// A deferred probe: the solve lives with the donor shard, so the
+			// promoted entry settles on the donor's schedule.
+			e.settled = true
+			e.gossiped = true
+		}
+		c.entries[key] = e
+		return e, true, nil
 	}
 	e, err := c.build(key, canon, nowMs)
 	if err != nil {
-		return false, err
+		return nil, false, err
 	}
-	if t := remapSchedule(donor, e.Profile); t != nil {
-		evN, errN := e.Evaluate(e.Naive)
-		evT, errT := e.Evaluate(t)
-		if errN == nil && errT == nil && evT.Cost < evN.Cost {
-			e.Seeded = t
-		}
-	}
-	if c.cfg.Solve {
+	c.adoptDonor(e, donor)
+	if gossiped {
+		// Same-platform import: the donor already solved this mix to its
+		// settled optimum, so adopt it (or the naive tie) without a solve.
+		e.settled = true
+	} else if c.cfg.Solve {
 		e.Any, err = core.AnytimeFromProfileSeeded(c.request(canon), e.Prob, e.Profile, e.Seeded)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
 	}
+	e.gossiped = gossiped
 	c.entries[key] = e
-	return e.Seeded != nil, nil
+	return e, true, nil
+}
+
+// adoptDonor remaps the donor schedule onto the entry's profile and seeds
+// the entry with it when it beats the entry's naive schedule.
+func (c *Cache) adoptDonor(e *Entry, donor *schedule.Schedule) {
+	t := remapSchedule(donor, e.Profile)
+	if t == nil {
+		return
+	}
+	evN, errN := e.Evaluate(e.Naive)
+	evT, errT := e.Evaluate(t)
+	if errN == nil && errT == nil && evT.Cost < evN.Cost {
+		e.Seeded = t
+	}
 }
 
 // remapSchedule maps a donor platform's assignment onto the target

@@ -124,7 +124,7 @@ func TestImportValidation(t *testing.T) {
 		{"wrong objective", &CacheSnapshot{Platform: "Orin", Objective: "MaxFPS"}},
 		{"wrong max groups", &CacheSnapshot{Platform: "Orin", Objective: "MinLatency", MaxGroups: 7}},
 		{"bad assign", &CacheSnapshot{Platform: "Orin", Objective: "MinLatency",
-			Entries: []EntrySnapshot{{Networks: []string{"VGG19"}, Assign: [][]int{{99}}}}}},
+			Entries: []EntrySnapshot{{Networks: []string{"VGG19"}, Assign: [][]int{{99}}, Solved: true}}}},
 	}
 	for _, tc := range cases {
 		if _, err := rt.Cache().Import(tc.snap); err == nil {
@@ -198,5 +198,122 @@ func TestSeedFromScheduleBeatsNaiveColdStart(t *testing.T) {
 	// Seeding an already-cached mix is a no-op.
 	if improved, err := seeded.SeedFromSchedule(mix, de.Best(), joinMs); err != nil || improved {
 		t.Errorf("re-seed: improved=%v err=%v", improved, err)
+	}
+}
+
+// TestSeedPromotesProbe is the cross-shard import idempotency regression:
+// seeding a mix the scorer already probed must *promote* the probe —
+// keeping its characterization, incumbent stream and solve anchor —
+// instead of rebuilding the entry. Before the fix, seedSchedule checked
+// only the live entries, so a gossiped entry for a probed mix orphaned
+// the probe and re-anchored its background solve at the import time,
+// silently discarding real solve progress.
+func TestSeedPromotesProbe(t *testing.T) {
+	mix := []string{"ResNet152", "VGG19"}
+	newCache := func() *Cache {
+		p, _ := soc.PlatformByName("Orin")
+		c, err := NewCache(CacheConfig{Platform: p, Objective: schedule.MinMaxLatency, Solve: true, SolverTimeScale: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	donor := newCache()
+	de, _, err := donor.Lookup(mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := newCache()
+	pe, live, err := target.Probe(mix, 0) // speculative solve anchored at t=0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live {
+		t.Fatal("probe of an unseen mix reported a live entry")
+	}
+
+	added, err := target.GossipSeed(mix, de.Best(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Fatal("gossip import of a probed mix did not register an entry")
+	}
+	key, _ := target.mixKey(mix)
+	e := target.entries[key]
+	if e != pe {
+		t.Fatal("gossip import rebuilt the entry instead of promoting the probe")
+	}
+	if e.CreatedMs != 0 {
+		t.Errorf("promoted entry re-anchored at %.0f ms; solve progress since t=0 lost", e.CreatedMs)
+	}
+	if e.Any != pe.Any {
+		t.Error("promoted entry lost the probe's incumbent stream")
+	}
+	if len(target.probes) != 0 {
+		t.Errorf("probe not removed on promotion: %d live probes", len(target.probes))
+	}
+	if target.Promotions != 1 {
+		t.Errorf("Promotions = %d, want 1", target.Promotions)
+	}
+	if target.Hits != 0 || target.Misses != 0 {
+		t.Errorf("import touched lookup stats: hits=%d misses=%d", target.Hits, target.Misses)
+	}
+
+	// Re-gossiping the same entry is a no-op: no new entry, no counter
+	// movement, no re-anchoring.
+	added, err = target.GossipSeed(mix, de.Best(), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Error("re-gossip of a live mix reported a fresh import")
+	}
+	if target.entries[key] != e || e.CreatedMs != 0 || target.Promotions != 1 {
+		t.Error("re-gossip mutated the live entry")
+	}
+
+	// A promoted probe is local work, not a gossip warm-up: its first hit
+	// must not count as a warm hit.
+	if _, hit, err := target.Lookup(mix, 500); err != nil || !hit {
+		t.Fatalf("lookup after promotion: hit=%v err=%v", hit, err)
+	}
+	if target.WarmHits != 0 {
+		t.Errorf("promoted probe counted as warm hit (WarmHits=%d)", target.WarmHits)
+	}
+}
+
+// TestGossipSeedWarmHit: a fresh gossip-seeded entry's first real lookup
+// counts once in WarmHits — the avoided local solve — and only once.
+func TestGossipSeedWarmHit(t *testing.T) {
+	mix := []string{"ResNet152", "VGG19"}
+	p, _ := soc.PlatformByName("Orin")
+	newCache := func() *Cache {
+		c, err := NewCache(CacheConfig{Platform: p, Objective: schedule.MinMaxLatency, Solve: true, SolverTimeScale: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	donor := newCache()
+	de, _, err := donor.Lookup(mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := newCache()
+	if added, err := warm.GossipSeed(mix, de.Best(), 100); err != nil || !added {
+		t.Fatalf("gossip seed: added=%v err=%v", added, err)
+	}
+	for i, wantWarm := range []int{1, 1} { // first hit counts, second does not
+		if _, hit, err := warm.Lookup(mix, 200+float64(i)); err != nil || !hit {
+			t.Fatalf("lookup %d: hit=%v err=%v", i, hit, err)
+		}
+		if warm.WarmHits != wantWarm {
+			t.Errorf("lookup %d: WarmHits = %d, want %d", i, warm.WarmHits, wantWarm)
+		}
+	}
+	if warm.Misses != 0 || warm.Hits != 2 {
+		t.Errorf("stats: hits=%d misses=%d, want 2/0", warm.Hits, warm.Misses)
 	}
 }
