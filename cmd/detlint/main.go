@@ -1,0 +1,241 @@
+// detlint is the multichecker for this repo's determinism and
+// virtual-clock invariants: maprange, walltime, rawrand and
+// baregoroutine (see internal/lint). It runs standalone over package
+// patterns and speaks enough of the vet-tool protocol (-V=full plus a
+// *.cfg package description) to run under `go vet -vettool`.
+//
+// Usage:
+//
+//	detlint [-rules maprange,walltime] [-json] [packages...]
+//	detlint -list
+//	go vet -vettool=$(go env GOPATH)/bin/detlint ./...
+//
+// Exit status: 0 clean, 1 usage or load error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"haxconn/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// vetConfig is the slice of cmd/go's vet.cfg the tool reads when
+// invoked as a vettool: the files to analyze and where to write the
+// (empty — detlint has no cross-package facts) vetx output cmd/go
+// expects as the action's product.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rules    = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+		version  = fs.String("V", "", "vet-tool version protocol ('full' prints the tool id)")
+		flagFile = fs.Bool("flags", false, "vet-tool flags protocol: describe supported flags as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *version != "" {
+		// cmd/go hashes this line into its action IDs; any stable,
+		// name-prefixed line satisfies the protocol.
+		fmt.Fprintf(stdout, "%s version devel buildID=%s\n", progName(), buildID())
+		return 0
+	}
+	if *flagFile {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetTool(rest[0], analyzers, stdout, stderr, *jsonOut)
+	}
+	return runStandalone(rest, analyzers, stdout, stderr, *jsonOut)
+}
+
+// runStandalone analyzes go-list package patterns (default ./...).
+func runStandalone(patterns []string, analyzers []*lint.Analyzer, stdout, stderr io.Writer, jsonOut bool) int {
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 1
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	return report(all, stdout, stderr, jsonOut)
+}
+
+// runVetTool analyzes the single package a vet.cfg describes.
+func runVetTool(cfgPath string, analyzers []*lint.Analyzer, stdout, stderr io.Writer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "detlint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go treats the vetx file as the action's output; write it
+	// first so even an errored run leaves the product in place.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("detlint\n"), 0o666); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if cfg.Dir != "" {
+		// The source importer resolves module import paths relative to
+		// the working directory.
+		if err := os.Chdir(cfg.Dir); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 1
+		}
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) && cfg.Dir != "" {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	loader := lint.NewLoader()
+	pkg, err := loader.LoadFiles(cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 1
+	}
+	diags, err := lint.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 1
+	}
+	return report(diags, stdout, stderr, jsonOut)
+}
+
+// report renders diagnostics and picks the exit status.
+func report(diags []lint.Diagnostic, stdout, stderr io.Writer, jsonOut bool) int {
+	if jsonOut {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -rules subset against the full suite.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	var picked []*lint.Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		a, ok := byName[r]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", r, strings.Join(names, ", "))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+func progName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// buildID hashes the executable so cmd/go's cache invalidates when the
+// tool changes; a fixed fallback keeps -V=full working under `go run`.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVersionProtocol checks the -V=full handshake cmd/go uses to
+// identify a vettool.
+func TestVersionProtocol(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), " version ") {
+		t.Fatalf("-V=full output %q lacks the ' version ' marker", out.String())
+	}
+}
+
+// TestListRules checks the multichecker knows all four analyzers.
+func TestListRules(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit %d, stderr %q", code, errb.String())
+	}
+	for _, rule := range []string{"maprange", "walltime", "rawrand", "baregoroutine"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+// TestUnknownRule checks -rules validation.
+func TestUnknownRule(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown rule exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Fatalf("stderr %q lacks the unknown-rule error", errb.String())
+	}
+}
+
+// TestTreeIsClean is the acceptance gate: the full multichecker over
+// the whole module must report zero findings — every intentional
+// exception is annotated, everything else is fixed.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree type check is slow; skipped in -short mode")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"haxconn/..."}, &out, &errb); code != 0 {
+		t.Fatalf("detlint haxconn/... exit %d; findings:\n%s", code, errb.String())
+	}
+}
+
+// TestVetToolCfg drives the vet-tool half: a vet.cfg describing a
+// package with walltime and rawrand violations must produce findings,
+// exit 2, and leave the vetx product behind.
+func TestVetToolCfg(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(orig)
+
+	dir := t.TempDir()
+	src := filepath.Join(dir, "dirty.go")
+	const dirty = `package dirty
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Millisecond
+}
+
+func Stamp() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(src, []byte(dirty), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module dirty\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "dirty.vetx")
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	cfg, err := json.Marshal(map[string]any{
+		"ID":         "dirty",
+		"Dir":        dir,
+		"ImportPath": "dirty",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	if code := run([]string{cfgPath}, &out, &errb); code != 2 {
+		t.Fatalf("vettool run exit %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	for _, rule := range []string{"walltime", "rawrand"} {
+		if !strings.Contains(errb.String(), rule) {
+			t.Errorf("vettool findings missing rule %s:\n%s", rule, errb.String())
+		}
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx product not written: %v", err)
+	}
+}

@@ -25,7 +25,12 @@
 // adds deterministic observability — request-lifecycle tracing exported
 // as Perfetto-loadable Chrome trace JSON, streaming-sketch percentiles,
 // and a counter registry — threaded through serve, fleet and control
-// without perturbing a single scheduling decision; the benchmark
-// suite in bench_test.go regenerates every table and figure of the
-// paper's evaluation. See README.md for a package tour and quickstart.
+// without perturbing a single scheduling decision; internal/lint
+// (cmd/detlint) machine-checks the determinism and virtual-clock
+// invariants themselves as static analysis — no unsorted map walks in
+// export paths, no wall clock or global randomness outside annotated
+// sites, no goroutines outside the blessed barrier primitives; the
+// benchmark suite in bench_test.go regenerates every table and figure
+// of the paper's evaluation. See README.md for a package tour and
+// quickstart.
 package haxconn

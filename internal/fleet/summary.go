@@ -99,6 +99,7 @@ func (f *Fleet) Summarize() *Summary {
 		cs.Misses += misses
 		cs.Upgrades += upgrades
 	}
+	//detlint:allow maprange per-key writes into byPlatform are independent; render order is fixed by the sorted names pass below
 	for name, c := range f.caches {
 		byPlatform[name].Entries = c.Len()
 	}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"haxconn/internal/lint"
+	"haxconn/internal/lint/linttest"
+)
+
+// TestBareGoroutine proves the analyzer fires on unannotated go
+// statements (func literals and named calls alike) and honors the
+// blessed-site annotation.
+func TestBareGoroutine(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BareGoroutine, "baregoroutine")
+}

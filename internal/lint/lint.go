@@ -1,0 +1,122 @@
+// Analyzer, Pass and Diagnostic: the framework surface the four rule
+// implementations program against. See doc.go for the rule catalogue
+// and the //detlint:allow suppression convention.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a fully
+// type-checked package through the Pass and reports findings; it must
+// be stateless across packages so analyzers can run in any order.
+type Analyzer struct {
+	Name string // rule name, as used by //detlint:allow <name>
+	Doc  string // one-paragraph description, shown by detlint -list
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Reportf records a finding at pos. Findings suppressed by a
+// //detlint:allow comment are filtered by the runner, not here.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file enclosing pos is a _test.go file.
+// The determinism rules guard production paths; tests and benchmarks
+// measure wall time and shuffle maps on purpose.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// Run executes the analyzers over one loaded package, applies the
+// //detlint:allow suppressions collected from the package's comments,
+// and returns the surviving findings sorted by position. Malformed
+// suppressions (no reason, unknown rule) are themselves reported under
+// the pseudo-rule "allow", so every exception in the tree stays
+// auditable.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	// Validate directives against the full suite, not the subset being
+	// run: a -rules walltime pass must not flag a perfectly good
+	// //detlint:allow baregoroutine annotation as an unknown rule.
+	sup := collectSuppressions(pkg.Fset, pkg.Files, Analyzers())
+	kept := diags[:0]
+	for _, d := range diags {
+		if sup.allows(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = append(kept, sup.malformed...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// Analyzers returns the full detlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapRange, WallTime, RawRand, BareGoroutine}
+}

@@ -1,0 +1,147 @@
+// Package linttest is detlint's analysistest: it runs an analyzer over
+// fixture packages under testdata/src/<pkg> and checks the reported
+// diagnostics against `// want "regexp"` comments in the fixtures,
+// exactly like golang.org/x/tools/go/analysis/analysistest — including
+// the suppression pass, so fixtures can prove //detlint:allow works.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"haxconn/internal/lint"
+)
+
+// wantRe matches one expectation comment: `// want "re"` or
+// `// want `+"`re`"+“. Multiple wants may share a line, separated by
+// further want clauses.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)(?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))*)")
+
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run analyzes each fixture package dir/src/<pkg> with a and compares
+// findings against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := lint.NewLoader()
+	for _, pkg := range pkgs {
+		pkgDir := filepath.Join(dir, "src", pkg)
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatalf("read fixture dir %s: %v", pkgDir, err)
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(pkgDir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("fixture package %s has no .go files", pkgDir)
+		}
+		loaded, err := loader.LoadFiles(pkg, pkgDir, files)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pkg, err)
+		}
+		diags, err := lint.Run(loaded, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+		}
+		checkExpectations(t, pkg, files, diags)
+	}
+}
+
+// checkExpectations matches diagnostics against want comments 1:1.
+func checkExpectations(t *testing.T, pkg string, files []string, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range files {
+		wants = append(wants, parseWants(t, file)...)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) || w.re.MatchString(d.Rule+": "+d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", pkg, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the expectation comments of one fixture file.
+func parseWants(t *testing.T, file string) []*expectation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+				pattern := arg
+				if strings.HasPrefix(arg, `"`) {
+					unq, err := strconv.Unquote(arg)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, arg, err)
+					}
+					pattern = unq
+				} else {
+					pattern = strings.Trim(arg, "`")
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, line, pattern, err)
+				}
+				wants = append(wants, &expectation{file: file, line: line, re: re, raw: pattern})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	return wants
+}
+
+// Fprint renders diagnostics for debugging fixture failures.
+func Fprint(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, d)
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+// Package loading for detlint: `go list -json` resolves patterns to the
+// module's packages, the stdlib parser and type checker do the rest.
+// Dependencies — including the standard library — are type-checked from
+// source through go/importer's "source" compiler, so detlint needs no
+// export data, no build cache warm-up and no module dependencies.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path      string // import path
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output detlint reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+}
+
+// goList resolves package patterns with the go command.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// sharedImporter type-checks imports from source and caches them across
+// every analyzed package, so the stdlib closure is checked once per
+// process. It satisfies both types.Importer and types.ImporterFrom.
+type sharedImporter struct {
+	src types.ImporterFrom
+}
+
+func newSharedImporter(fset *token.FileSet) *sharedImporter {
+	return &sharedImporter{src: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)}
+}
+
+func (si *sharedImporter) Import(path string) (*types.Package, error) {
+	return si.ImportFrom(path, "", 0)
+}
+
+func (si *sharedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return si.src.ImportFrom(path, dir, mode)
+}
+
+// Loader parses and type-checks packages on a shared FileSet and
+// import cache.
+type Loader struct {
+	Fset *token.FileSet
+	imp  *sharedImporter
+}
+
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: newSharedImporter(fset)}
+}
+
+// Load resolves the patterns relative to dir (the module root or any
+// directory inside it) and returns the type-checked packages in
+// go list order. Per-package type errors fail the load: an invariant
+// checker has nothing sound to say about a package it cannot type.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.CgoFiles) > 0 {
+			continue
+		}
+		files := make([]string, 0, len(lp.GoFiles))
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := l.LoadFiles(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadFiles parses and type-checks one package from an explicit file
+// list (used by the vettool protocol and the fixture harness, which
+// know their files without a go list walk).
+func (l *Loader) LoadFiles(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-check %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `for … range` over a map inside an export path — the
+// functions that render summaries, CSV, JSON, traces or persisted
+// snapshots, where Go's randomized map iteration order is the classic
+// byte-determinism killer. The one blessed shape is the sorted-collect
+// idiom: a loop whose only externally visible effect is appending to a
+// single slice that the same function later sorts. Anything else needs
+// either a rewrite over sorted keys or a //detlint:allow maprange with
+// a reason (e.g. copying into a map rendered by encoding/json, which
+// sorts keys itself).
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flags map iteration in export/summarize/CSV/trace paths unless keys are " +
+		"collected into a slice and sorted in the same function",
+	Run: runMapRange,
+}
+
+// exportPathPackages are analyzed wholesale: everything they do is
+// rendering, merging or persisting observable output.
+var exportPathPackages = map[string]bool{
+	"report": true,
+	"obs":    true,
+	"trace":  true,
+}
+
+// exportFuncNames match functions in other packages that sit on an
+// export path by naming convention.
+var exportFuncNames = []string{
+	"Write", "Export", "Render", "Marshal", "Save", "Dump",
+	"CSV", "Summar", "Snapshot", "String", "Report", "Print",
+}
+
+func runMapRange(p *Pass) error {
+	exportAll := exportPathPackages[p.Pkg.Name()]
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !exportAll && !isExportFunc(p, fd) {
+				continue
+			}
+			checkMapRanges(p, fd)
+		}
+	}
+	return nil
+}
+
+// isExportFunc reports whether fd is an export path by name or by
+// signature (it takes an io.Writer-shaped parameter).
+func isExportFunc(p *Pass, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	for _, pat := range exportFuncNames {
+		if strings.Contains(name, pat) {
+			return true
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if t := p.TypeOf(field.Type); t != nil && isWriterType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isWriterType reports whether t is io.Writer or implements it via a
+// named interface embedding (the common export signatures).
+func isWriterType(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Name() != "Write" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		if s, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+			if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkMapRanges(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isSortedCollect(p, fd, rs) {
+			return true
+		}
+		p.Reportf(rs.For,
+			"map iteration in export path %s; collect keys and sort first (or annotate //detlint:allow maprange <reason>)",
+			fd.Name.Name)
+		return true
+	})
+}
+
+// isSortedCollect recognizes the blessed loop shape: every statement in
+// the body either manipulates loop-local state or appends to exactly
+// one slice variable declared outside the loop, and that slice is
+// passed to a sort call somewhere in the same function.
+func isSortedCollect(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	locals := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			locals[p.TypesInfo.Defs[id]] = true
+		}
+	}
+	var collected types.Object
+	if !bodyOnlyCollects(p, rs.Body.List, locals, &collected) || collected == nil {
+		return false
+	}
+	return functionSorts(p, fd, collected)
+}
+
+// bodyOnlyCollects walks the loop body, tracking loop-local
+// declarations, and verifies the only escaping write is
+// `X = append(X, …)` for a single outer slice X (recorded in
+// *collected).
+func bodyOnlyCollects(p *Pass, stmts []ast.Stmt, locals map[types.Object]bool, collected *types.Object) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return false
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					return false
+				}
+				for _, id := range vs.Names {
+					locals[p.TypesInfo.Defs[id]] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if !assignOnlyCollects(p, s, locals, collected) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				init, ok := s.Init.(*ast.AssignStmt)
+				if !ok || !assignOnlyCollects(p, init, locals, collected) {
+					return false
+				}
+			}
+			if !bodyOnlyCollects(p, s.Body.List, locals, collected) {
+				return false
+			}
+			if s.Else != nil {
+				var elseStmts []ast.Stmt
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseStmts = e.List
+				case *ast.IfStmt:
+					elseStmts = []ast.Stmt{e}
+				}
+				if !bodyOnlyCollects(p, elseStmts, locals, collected) {
+					return false
+				}
+			}
+		case *ast.ExprStmt, *ast.BranchStmt:
+			// Pure expression statements can't write; continue/break
+			// are flow control.
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// assignOnlyCollects accepts writes to loop-locals (including their
+// fields) and the single collecting append.
+func assignOnlyCollects(p *Pass, s *ast.AssignStmt, locals map[types.Object]bool, collected *types.Object) bool {
+	// x := … inside the body declares more locals.
+	if s.Tok.String() == ":=" {
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				locals[p.TypesInfo.Defs[id]] = true
+			}
+		}
+		return true
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	// Writes that stay inside the loop iteration: x = …, x.f = …,
+	// x[i] = … for loop-local x.
+	if root := rootObject(p, s.Lhs[0]); root != nil && locals[root] {
+		return true
+	}
+	// The collecting append: X = append(X, …) for one outer X.
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.TypesInfo.Uses[lhs]
+	if obj == nil {
+		obj = p.TypesInfo.Defs[lhs]
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || p.TypesInfo.Uses[arg0] != obj || obj == nil {
+		return false
+	}
+	if *collected != nil && *collected != obj {
+		return false
+	}
+	*collected = obj
+	return true
+}
+
+// rootObject resolves the base identifier of an lvalue chain
+// (x, x.f, x[i], *x …).
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := p.TypesInfo.Uses[v]; o != nil {
+				return o
+			}
+			return p.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortCallNames are the sort/slices functions that order their first
+// argument in place.
+var sortCallNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}
+
+// functionSorts reports whether fd contains a sort.* or slices.Sort*
+// call with the collected slice as first argument.
+func functionSorts(p *Pass, fd *ast.FuncDecl, slice types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if !sortCallNames[sel.Sel.Name] && !strings.HasPrefix(sel.Sel.Name, "Sort") {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && p.TypesInfo.Uses[arg] == slice {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"haxconn/internal/lint"
+	"haxconn/internal/lint/linttest"
+)
+
+// TestMapRange proves the analyzer fires on unsorted export-path map
+// walks, stays silent on the sorted-collect idiom and on non-export
+// helpers, honors suppressions, and treats the obs/report/trace
+// packages as export paths wholesale.
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapRange, "maprange", "obs")
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawRand flags nondeterministic randomness in non-test code: calls to
+// math/rand's global top-level functions (which share a process-global,
+// auto-seeded source), any use of math/rand/v2 (whose global functions
+// cannot be seeded at all), and rand.NewSource/NewPCG seeds derived
+// from the wall clock. Deterministic replay requires every random
+// stream to be an explicitly seeded rand.New(rand.NewSource(seed))
+// local generator, like serve/loadgen.go's per-tenant streams.
+var RawRand = &Analyzer{
+	Name: "rawrand",
+	Doc: "flags global math/rand top-level functions and wall-clock-seeded " +
+		"sources; randomness must come from explicitly seeded local generators",
+	Run: runRawRand,
+}
+
+// randGlobalFuncs are math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are
+// fine when their seed is deterministic.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "NormFloat64": true, "ExpFloat64": true, "Read": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "UintN": true, "Uint64N": true, "Uint32N": true,
+}
+
+func runRawRand(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			isV1 := isPkgIdent(p, sel.X, "math/rand")
+			isV2 := isPkgIdent(p, sel.X, "math/rand/v2")
+			if !isV1 && !isV2 {
+				return true
+			}
+			switch {
+			case randGlobalFuncs[sel.Sel.Name]:
+				p.Reportf(sel.Pos(),
+					"global math/rand source via rand.%s; use an explicitly seeded rand.New(rand.NewSource(seed))",
+					sel.Sel.Name)
+			case sel.Sel.Name == "NewSource" || sel.Sel.Name == "NewPCG" || sel.Sel.Name == "NewChaCha8":
+				if call := enclosingCall(sel, f); call != nil && seedUsesWallClock(p, call) {
+					p.Reportf(sel.Pos(),
+						"rand.%s seeded from the wall clock; derive the seed from configuration so runs replay",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingCall returns the CallExpr whose Fun is sel, if any.
+func enclosingCall(sel *ast.SelectorExpr, f *ast.File) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// seedUsesWallClock reports whether any argument of call contains a
+// wall-clock read (time.Now and friends).
+func seedUsesWallClock(p *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || found {
+				return !found
+			}
+			if wallTimeFuncs[sel.Sel.Name] && isPkgIdent(p, sel.X, "time") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

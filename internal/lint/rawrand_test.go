@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"haxconn/internal/lint"
+	"haxconn/internal/lint/linttest"
+)
+
+// TestRawRand proves the analyzer fires on global math/rand functions
+// and wall-clock-seeded sources while accepting explicitly seeded
+// local generators.
+func TestRawRand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RawRand, "rawrand")
+}

@@ -1,0 +1,94 @@
+// //detlint:allow handling: every intentional exception to a rule is
+// annotated in the source, carries a reason, and is auditable with
+// `git grep detlint:allow`.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix starts a suppression comment:
+//
+//	//detlint:allow <rule> <reason...>
+//
+// placed either on the flagged line or on the line directly above it.
+// The reason is mandatory — a bare allow is reported as malformed — so
+// the annotation doubles as documentation of why the exception is safe.
+const allowPrefix = "//detlint:allow"
+
+type suppression struct {
+	rule string
+	file string
+	line int
+}
+
+type suppressionSet struct {
+	byKey     map[suppression]bool
+	malformed []Diagnostic
+}
+
+// collectSuppressions scans every comment in the package for allow
+// directives. Directives with a missing reason or an unknown rule name
+// become "allow" diagnostics instead of suppressions.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) *suppressionSet {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	s := &suppressionSet{byKey: map[suppression]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					// e.g. //detlint:allowed — not ours.
+					continue
+				}
+				// A trailing //-comment (e.g. linttest's want clauses)
+				// is not part of the directive.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "allow",
+						Message: "detlint:allow directive without a rule name",
+					})
+				case !known[fields[0]]:
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "allow",
+						Message: "detlint:allow names unknown rule " + fields[0],
+					})
+				case len(fields) < 2:
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "allow",
+						Message: "detlint:allow " + fields[0] + " is missing its reason",
+					})
+				default:
+					s.byKey[suppression{rule: fields[0], file: pos.Filename, line: pos.Line}] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether d is covered by an allow directive on the
+// same line or the line directly above.
+func (s *suppressionSet) allows(d Diagnostic) bool {
+	return s.byKey[suppression{rule: d.Rule, file: d.Pos.Filename, line: d.Pos.Line}] ||
+		s.byKey[suppression{rule: d.Rule, file: d.Pos.Filename, line: d.Pos.Line - 1}]
+}

@@ -1,0 +1,21 @@
+// Fixture for the suppression grammar itself: reason-less and
+// unknown-rule directives are findings under the pseudo-rule "allow",
+// and a malformed directive suppresses nothing.
+package allowform
+
+import "time"
+
+func missingReason() time.Time {
+	//detlint:allow walltime // want `detlint:allow walltime is missing its reason`
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func unknownRule() time.Time {
+	//detlint:allow frobnicate because reasons // want `detlint:allow names unknown rule frobnicate`
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func noRule() time.Time {
+	//detlint:allow // want `detlint:allow directive without a rule name`
+	return time.Now() // want `wall-clock call time.Now`
+}

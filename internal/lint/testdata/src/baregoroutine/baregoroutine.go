@@ -1,0 +1,21 @@
+// Fixture for the baregoroutine analyzer: unblessed `go` statements.
+package baregoroutine
+
+func launch(ch chan int) {
+	go func() { ch <- 1 }() // want `bare goroutine outside the blessed barrier/pool primitives`
+}
+
+func named(ch chan int) {
+	go send(ch) // want `bare goroutine outside the blessed barrier/pool primitives`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// Annotated launch site whose merge point is pinned to the virtual
+// clock: suppressed.
+func blessed(ch chan int) {
+	results := make(chan int, 1)
+	//detlint:allow baregoroutine worker joins a condvar barrier; merge order pinned to the virtual clock
+	go func() { results <- <-ch }()
+	<-results
+}

@@ -1,0 +1,79 @@
+// Fixture for the maprange analyzer: export-path map iteration.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Export path by name (Write*): unsorted map walk is flagged.
+func WriteCounts(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration in export path WriteCounts`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// The blessed sorted-collect idiom: append keys, sort, walk sorted.
+func WriteSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Collect with loop-local staging and guards, sorted after: still the
+// blessed shape (mirrors Audit.Snapshot).
+func SummarizeStats(m map[string]float64) []string {
+	rows := make([]string, 0, len(m))
+	for k, v := range m {
+		row := k
+		if v > 0 {
+			row = fmt.Sprintf("%s=%g", k, v)
+		}
+		rows = append(rows, row)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// Collected but never sorted: flagged.
+func SummarizeUnsorted(m map[string]float64) []string {
+	var out []string
+	for k := range m { // want `map iteration in export path SummarizeUnsorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Not an export path (no export name, no writer): commutative
+// accumulation is out of scope for the rule.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Export path by signature: the io.Writer parameter marks it even
+// though the name matches nothing.
+func flush(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration in export path flush`
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Suppressed with a reason: no finding.
+func RenderArgs(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//detlint:allow maprange copied into a map rendered by encoding/json, which sorts keys
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Fixture for the maprange analyzer's package-wide scope: everything
+// in report/obs/trace counts as an export path, whatever its name.
+package obs
+
+func accumulate(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `map iteration in export path accumulate`
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+// Fixture for the rawrand analyzer: global and wall-seeded randomness.
+package rawrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func global() int {
+	return rand.Intn(10) // want `global math/rand source via rand.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global math/rand source via rand.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func reseed() {
+	rand.Seed(42) // want `global math/rand source via rand.Seed`
+}
+
+func wallSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.NewSource seeded from the wall clock`
+}
+
+// The blessed shape: a local generator with a configured seed.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Suppressed with a reason.
+func jitter() int {
+	//detlint:allow rawrand display-only jitter, excluded from summaries
+	return rand.Intn(3)
+}

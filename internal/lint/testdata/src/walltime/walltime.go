@@ -1,0 +1,43 @@
+// Fixture for the walltime analyzer: wall-clock reads outside the
+// virtual tick clock.
+package walltime
+
+import "time"
+
+func tick() time.Time {
+	return time.Now() // want `wall-clock call time.Now`
+}
+
+func wait(d time.Duration) {
+	time.Sleep(d) // want `wall-clock call time.Sleep`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock call time.Since`
+}
+
+func poll(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want `wall-clock call time.NewTicker`
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+}
+
+// Pure duration arithmetic never touches the wall clock.
+func pure() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	return d * 2
+}
+
+// Annotated solver-deadline shape: suppressed.
+func deadline(start time.Time) time.Duration {
+	//detlint:allow walltime wall deadline caps real CPU spend and never feeds byte-compared output
+	return time.Since(start)
+}
+
+// Same-line annotation form.
+func deadlineInline() time.Time {
+	return time.Now() //detlint:allow walltime wall bench timestamp, reported only as *_wall metrics
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"testing"
+
+	"haxconn/internal/lint"
+	"haxconn/internal/lint/linttest"
+)
+
+// TestWallTime proves the analyzer fires on time.Now/Since/Sleep/
+// NewTicker, ignores pure duration arithmetic, and honors both the
+// preceding-line and same-line //detlint:allow forms.
+func TestWallTime(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WallTime, "walltime")
+}
+
+// TestAllowGrammar proves malformed suppressions — missing reason,
+// unknown rule, no rule at all — are findings themselves and suppress
+// nothing.
+func TestAllowGrammar(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WallTime, "allowform")
+}

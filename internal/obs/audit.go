@@ -127,6 +127,7 @@ func (a *Audit) Merge(other *Audit) {
 	if a == nil || other == nil {
 		return
 	}
+	//detlint:allow maprange per-id aggregates are disjoint, so the float sums commute across iteration order; render order comes from Snapshot's sort
 	for id, src := range other.aggs {
 		agg := a.aggs[id]
 		if agg == nil {

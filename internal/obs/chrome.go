@@ -114,6 +114,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		case e.Kind == KindPool && len(e.Metrics) > 0:
 			ce.Phase = "C"
 			cargs := make(map[string]any, len(e.Metrics))
+			//detlint:allow maprange map-to-map copy rendered by encoding/json, which sorts keys
 			for k, v := range e.Metrics {
 				cargs[k] = v
 			}
@@ -128,6 +129,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		// Non-counter events carrying a Metrics map (audit pairs, engine
 		// stats) keep their samples as plain args.
 		if ce.Phase != "C" && len(e.Metrics) > 0 {
+			//detlint:allow maprange map-to-map copy rendered by encoding/json, which sorts keys
 			for k, v := range e.Metrics {
 				args[k] = v
 			}

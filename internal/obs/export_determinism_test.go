@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestExportByteDeterminism is the runtime half of detlint's maprange
+// argument: every obs export (Chrome trace, JSONL, registry snapshot)
+// must render byte-identically regardless of map insertion order and
+// across Go's per-iteration map ordering randomization. The maps are
+// rebuilt under a fresh permutation each round, so an unsorted map walk
+// in an export path fails this test with high probability even if the
+// demos never trip it.
+func TestExportByteDeterminism(t *testing.T) {
+	const rounds = 20
+	rng := rand.New(rand.NewSource(7))
+
+	render := func(perm []int) (chrome, jsonl, registry string) {
+		tr := NewTracer()
+		// Emission order is data and stays fixed; only the Metrics maps
+		// (and the tracer's internal track-ID maps, keyed by the many
+		// device/tenant names) are map-ordered.
+		for i := 0; i < 12; i++ {
+			m := map[string]float64{}
+			for _, j := range perm {
+				m[fmt.Sprintf("util_%d", j)] = float64(j)
+			}
+			tr.Emit(Event{
+				AtMs: float64(i), Kind: KindPool,
+				Device:  fmt.Sprintf("orin-%d", i),
+				Request: NoRequest, Metrics: m,
+			})
+			tr.Emit(Event{
+				AtMs: float64(i), Kind: KindComplete,
+				Tenant:  fmt.Sprintf("tenant-%d", i),
+				Device:  fmt.Sprintf("orin-%d", i),
+				Request: i, Value: float64(i * 3),
+				Metrics: map[string]float64{"predicted_ms": float64(i), "actual_ms": float64(i + 1)},
+			})
+		}
+		var cb, jb bytes.Buffer
+		if err := tr.WriteChromeTrace(&cb); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if err := tr.WriteJSONL(&jb); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+
+		reg := NewRegistry()
+		for _, j := range perm {
+			reg.Set(fmt.Sprintf("metric_%02d", j), float64(j))
+		}
+		var rb bytes.Buffer
+		if err := reg.WriteJSONL(&rb); err != nil {
+			t.Fatalf("Registry.WriteJSONL: %v", err)
+		}
+		return cb.String(), jb.String(), rb.String()
+	}
+
+	base := make([]int, 16)
+	for i := range base {
+		base[i] = i
+	}
+	wantChrome, wantJSONL, wantReg := render(base)
+	for round := 0; round < rounds; round++ {
+		perm := rng.Perm(len(base))
+		chrome, jsonl, reg := render(perm)
+		if chrome != wantChrome {
+			t.Fatalf("round %d: Chrome trace bytes differ under map insertion order %v", round, perm)
+		}
+		if jsonl != wantJSONL {
+			t.Fatalf("round %d: JSONL bytes differ under map insertion order %v", round, perm)
+		}
+		if reg != wantReg {
+			t.Fatalf("round %d: registry JSONL bytes differ under map insertion order %v", round, perm)
+		}
+	}
+}
+
+// TestAuditSnapshotOrderInvariance checks Audit exports are invariant
+// to the order keys are first observed and to merge direction — the
+// guarantee the //detlint:allow maprange annotation on Audit.Merge
+// claims. Integer-valued samples keep float sums exact, isolating
+// ordering effects.
+func TestAuditSnapshotOrderInvariance(t *testing.T) {
+	keys := []string{"mix-a", "mix-b", "mix-c", "mix-d", "mix-e"}
+	build := func(perm []int) *Audit {
+		a := NewAudit()
+		for _, i := range perm {
+			// Per-key observation order stays fixed (it is the virtual
+			// timeline); only the across-key interleaving permutes.
+			a.Observe("serve", "mix", keys[i], float64(2*i), float64(2*i+1))
+			a.Observe("serve", "mix", keys[i], float64(4*i), float64(4*i+2))
+		}
+		return a
+	}
+	snapString := func(a *Audit) string {
+		return fmt.Sprintf("%+v", a.Snapshot())
+	}
+	want := snapString(build([]int{0, 1, 2, 3, 4}))
+
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		perm := rng.Perm(len(keys))
+		if got := snapString(build(perm)); got != want {
+			t.Fatalf("round %d: Snapshot differs under observation order %v:\n got %s\nwant %s", round, perm, got, want)
+		}
+		// Folding a permuted audit into an empty one must reproduce the
+		// same snapshot: Merge's per-id sums are disjoint, so its map
+		// iteration order cannot show through.
+		merged := NewAudit()
+		merged.Merge(build(perm))
+		if got := snapString(merged); got != want {
+			t.Fatalf("round %d: merged Snapshot differs under order %v", round, perm)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"haxconn/internal/obs"
+)
+
+// TestCSVByteDeterminism pins the report layer's map-fed CSV exports:
+// AuditCSV and MetricsCSV must render byte-identically however the
+// underlying obs maps were populated. Companion to detlint's maprange
+// rule — the static check forbids unsorted map walks in these paths,
+// this test proves the sorted paths actually hold to the byte.
+func TestCSVByteDeterminism(t *testing.T) {
+	render := func(perm []int) (audit, metrics string) {
+		a := obs.NewAudit()
+		reg := obs.NewRegistry()
+		for _, i := range perm {
+			key := fmt.Sprintf("mix-%02d", i)
+			a.Observe("serve", "mix", key, float64(3*i), float64(3*i+2))
+			reg.Set(fmt.Sprintf("serve.metric_%02d", i), float64(i))
+			reg.Add("serve.total", float64(i))
+		}
+		var ab, mb bytes.Buffer
+		if err := AuditCSV(&ab, a.Snapshot()); err != nil {
+			t.Fatalf("AuditCSV: %v", err)
+		}
+		if err := MetricsCSV(&mb, reg.Snapshot()); err != nil {
+			t.Fatalf("MetricsCSV: %v", err)
+		}
+		return ab.String(), mb.String()
+	}
+
+	base := make([]int, 24)
+	for i := range base {
+		base[i] = i
+	}
+	wantAudit, wantMetrics := render(base)
+	if len(wantAudit) == 0 || len(wantMetrics) == 0 {
+		t.Fatal("empty baseline CSV")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 20; round++ {
+		perm := rng.Perm(len(base))
+		audit, metrics := render(perm)
+		if audit != wantAudit {
+			t.Fatalf("round %d: AuditCSV bytes differ under population order %v", round, perm)
+		}
+		if metrics != wantMetrics {
+			t.Fatalf("round %d: MetricsCSV bytes differ under population order %v", round, perm)
+		}
+	}
+}

@@ -588,6 +588,7 @@ func (c *Cache) ProbeAll(mixes [][]string, nowMs float64) ([]*Entry, []error) {
 		var wg sync.WaitGroup
 		for _, b := range builds {
 			wg.Add(1)
+			//detlint:allow baregoroutine ProbeAll solve pool: serial dedupe before, wg.Wait barrier after, results committed in first-appearance order
 			go func(b *build) {
 				defer wg.Done()
 				e, err := c.build(b.key, b.canon, nowMs)

@@ -631,6 +631,7 @@ func (r *Runtime) batchScorerMany(cands []Candidate, startMs float64) BatchScore
 		var wg sync.WaitGroup
 		for _, e := range order {
 			wg.Add(1)
+			//detlint:allow baregoroutine beam scorer pool: disjoint evalRes slots per entry, wg.Wait barrier, scores consumed in deterministic beam order
 			go func(e *Entry, res *evalRes) {
 				defer wg.Done()
 				s := e.Naive

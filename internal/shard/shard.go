@@ -464,6 +464,7 @@ func (p *Plane) Serve(tr serve.Trace) (*Summary, error) {
 	var wg sync.WaitGroup
 	for _, st := range states {
 		wg.Add(1)
+		//detlint:allow baregoroutine shard stepper: shards advance between hub condvar barrier rounds pinned to the virtual tick clock; merge after wg.Wait is in shard order
 		go func(st *shardState) {
 			defer wg.Done()
 			p.runShard(h, st)

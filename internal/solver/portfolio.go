@@ -156,7 +156,7 @@ type EngineStats struct {
 // but, being wall time, forfeits that determinism; leave it zero on
 // serving paths.
 func OptimizePortfolio(prob *schedule.Problem, pr *schedule.Profile, cfg Config) (*Anytime, error) {
-	start := time.Now()
+	start := time.Now() //detlint:allow walltime anchor for Stats.Elapsed diagnostics; the merged stream replays on the virtual node clock
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("solver: nil contention model")
 	}
@@ -192,6 +192,7 @@ func OptimizePortfolio(prob *schedule.Problem, pr *schedule.Profile, cfg Config)
 	var wg sync.WaitGroup
 	for i, eng := range engines {
 		wg.Add(1)
+		//detlint:allow baregoroutine portfolio engine worker: bounds exchange at the share condvar barrier, incumbents merged on the virtual node clock after wg.Wait
 		go func(i int, eng engineRun) {
 			defer wg.Done()
 			ecfg := cfg
@@ -275,7 +276,7 @@ func OptimizePortfolio(prob *schedule.Problem, pr *schedule.Profile, cfg Config)
 		})
 	}
 	a.Stats.Complete = proved
-	a.Stats.Elapsed = time.Since(start)
+	a.Stats.Elapsed = time.Since(start) //detlint:allow walltime Stats.Elapsed is diagnostic wall time, excluded from byte-compared summaries
 	a.BarrierRounds = sh.round
 
 	if cfg.OnImprove != nil {
